@@ -1,0 +1,122 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (quick mode; run cmd/kvell-bench for full-scale runs and EXPERIMENTS.md
+// for the paper-vs-measured record):
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the corresponding experiment once per iteration
+// and logs its table on the first iteration.
+package kvell
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"kvell/internal/harness"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := harness.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		e.Run(harness.Options{Quick: true, Seed: 42}, &buf)
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)       { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)       { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)       { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B)       { benchExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B)       { benchExperiment(b, "table6") }
+func BenchmarkFig1(b *testing.B)         { benchExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)         { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)         { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)         { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)         { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)         { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)         { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)         { benchExperiment(b, "fig8") }
+func BenchmarkFig9A(b *testing.B)        { benchExperiment(b, "fig9a") }
+func BenchmarkFig9B(b *testing.B)        { benchExperiment(b, "fig9b") }
+func BenchmarkFig10(b *testing.B)        { benchExperiment(b, "fig10") }
+func BenchmarkRecovery(b *testing.B)     { benchExperiment(b, "recovery") }
+func BenchmarkBatchLatency(b *testing.B) { benchExperiment(b, "batchlat") }
+
+func BenchmarkAblationCache(b *testing.B)     { benchExperiment(b, "ablation-cache") }
+func BenchmarkAblationBatch(b *testing.B)     { benchExperiment(b, "ablation-batch") }
+func BenchmarkAblationCommitLog(b *testing.B) { benchExperiment(b, "ablation-commitlog") }
+func BenchmarkAblationWorkers(b *testing.B)   { benchExperiment(b, "ablation-workers") }
+
+// Real-runtime micro-benchmarks of the public API (goroutines + files are
+// real here; no simulated hardware).
+
+func BenchmarkRealPut(b *testing.B) {
+	db, err := Open(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	val := make([]byte, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("bench-%012d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealGet(b *testing.B) {
+	db, err := Open(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	val := make([]byte, 1000)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("bench-%012d", i)), val)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, _ := db.Get([]byte(fmt.Sprintf("bench-%012d", i%n))); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkRealScan100(b *testing.B) {
+	db, err := Open(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	val := make([]byte, 1000)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("bench-%012d", i)), val)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items, _ := db.Scan([]byte(fmt.Sprintf("bench-%012d", i%(n-100))), 100)
+		if len(items) != 100 {
+			b.Fatalf("scan returned %d", len(items))
+		}
+	}
+}
+
+func BenchmarkAblationShared(b *testing.B)  { benchExperiment(b, "ablation-shared") }
+func BenchmarkAblationInPlace(b *testing.B) { benchExperiment(b, "ablation-inplace") }
+func BenchmarkOldSSD(b *testing.B)          { benchExperiment(b, "oldssd") }
+func BenchmarkCPUPerIO(b *testing.B)        { benchExperiment(b, "cpuperio") }

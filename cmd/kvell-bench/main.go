@@ -1,0 +1,66 @@
+// Command kvell-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	kvell-bench -list
+//	kvell-bench -exp fig5 [-quick] [-seed 42]
+//	kvell-bench -exp all [-quick]
+//
+// Each experiment prints a text table with the corresponding paper values
+// quoted underneath; EXPERIMENTS.md records a full paper-vs-measured
+// comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kvell/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (or 'all')")
+		quick = flag.Bool("quick", false, "shorter durations and smaller datasets")
+		seed  = flag.Int64("seed", 42, "simulation seed")
+		list  = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range harness.All() {
+			fmt.Printf("  %-20s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	o := harness.Options{Quick: *quick, Seed: *seed}
+	run := func(e harness.Experiment) {
+		t0 := time.Now()
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		e.Run(o, os.Stdout)
+		fmt.Printf("---- (%s wall) ----\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range harness.All() {
+			run(e)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		e, ok := harness.Find(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		run(e)
+	}
+}

@@ -1,0 +1,43 @@
+// Command kvell-devbench characterizes the simulated storage devices: it
+// regenerates the paper's §2 measurements (Tables 1-3, Figures 1-2) that
+// motivate KVell's design.
+//
+//	kvell-devbench            # all device experiments
+//	kvell-devbench -exp table2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kvell/internal/harness"
+)
+
+var deviceExps = []string{"table1", "table2", "table3", "fig1", "fig2"}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "device experiment (table1,table2,table3,fig1,fig2 or all)")
+		quick = flag.Bool("quick", false, "shorter runs")
+		seed  = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	ids := deviceExps
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	o := harness.Options{Quick: *quick, Seed: *seed}
+	for _, id := range ids {
+		e, ok := harness.Find(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown device experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		e.Run(o, os.Stdout)
+		fmt.Println()
+	}
+}

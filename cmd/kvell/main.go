@@ -1,0 +1,114 @@
+// Command kvell is a small CLI for a file-backed KVell store.
+//
+//	kvell -db data.kvell put <key> <value>
+//	kvell -db data.kvell get <key>
+//	kvell -db data.kvell del <key>
+//	kvell -db data.kvell scan <start> <count>
+//	kvell -db data.kvell stats
+//	kvell -db data.kvell bench -n 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"kvell"
+)
+
+func main() {
+	dbPath := flag.String("db", "data.kvell", "database file")
+	workers := flag.Int("workers", 4, "worker goroutines")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: kvell -db FILE {put K V | get K | del K | scan START N | stats | bench [-n N]}")
+		os.Exit(2)
+	}
+
+	db, err := kvell.Open(kvell.Options{Path: *dbPath, Workers: *workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	switch args[0] {
+	case "put":
+		need(args, 3)
+		if err := db.Put([]byte(args[1]), []byte(args[2])); err != nil {
+			log.Fatal(err)
+		}
+	case "get":
+		need(args, 2)
+		v, ok, err := db.Get([]byte(args[1]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			fmt.Println("(not found)")
+			os.Exit(1)
+		}
+		fmt.Println(string(v))
+	case "del":
+		need(args, 2)
+		existed, err := db.Delete([]byte(args[1]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !existed {
+			fmt.Println("(not found)")
+		}
+	case "scan":
+		need(args, 3)
+		n, err := strconv.Atoi(args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		items, err := db.Scan([]byte(args[1]), n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, it := range items {
+			fmt.Printf("%s\t%s\n", it.Key, it.Value)
+		}
+	case "stats":
+		st := db.Stats()
+		fmt.Printf("items:        %d\n", st.Items)
+		fmt.Printf("index bytes:  %d\n", st.IndexBytes)
+		fmt.Printf("cache:        %d hits / %d misses\n", st.CacheHits, st.CacheMisses)
+		fmt.Printf("disk:         %d reads / %d writes\n", st.Reads, st.Writes)
+	case "bench":
+		n := 100_000
+		if len(args) >= 3 && args[1] == "-n" {
+			n, _ = strconv.Atoi(args[2])
+		}
+		val := make([]byte, 1000)
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("bench-%012d", i)), val); err != nil {
+				log.Fatal(err)
+			}
+		}
+		wElapsed := time.Since(t0)
+		t0 = time.Now()
+		for i := 0; i < n; i++ {
+			if _, ok, _ := db.Get([]byte(fmt.Sprintf("bench-%012d", i))); !ok {
+				log.Fatal("lost key during bench")
+			}
+		}
+		rElapsed := time.Since(t0)
+		fmt.Printf("writes: %.0f ops/s, reads: %.0f ops/s\n",
+			float64(n)/wElapsed.Seconds(), float64(n)/rElapsed.Seconds())
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		log.Fatalf("%s: missing arguments", args[0])
+	}
+}

@@ -1,0 +1,46 @@
+// Simulate: run KVell programmatically inside the discrete-event simulator
+// on a calibrated Intel Optane 905P model — the paper's Config-Optane — and
+// print throughput, latency and device/CPU utilization. This is the
+// programmatic form of what cmd/kvell-bench does for every table and
+// figure.
+//
+//	go run ./examples/simulate
+package main
+
+import (
+	"fmt"
+
+	"kvell/internal/device"
+	"kvell/internal/env"
+	"kvell/internal/harness"
+	"kvell/internal/stats"
+	"kvell/internal/ycsb"
+)
+
+func main() {
+	const records = 50_000
+	fmt.Println("simulating KVell on Config-Optane (8 cores), YCSB A uniform, 1KB items")
+	res := harness.Run(harness.Spec{
+		Name:    "example",
+		Seed:    1,
+		Engine:  harness.KVell,
+		Profile: device.Optane(),
+		Records: records,
+		Gen: func(seed int64) harness.Generator {
+			return ycsb.NewGenerator(ycsb.Core('A'), ycsb.Uniform, records, 1024, seed)
+		},
+		Warmup:   250 * env.Millisecond,
+		Duration: env.Second,
+		Bucket:   125 * env.Millisecond,
+	})
+
+	fmt.Printf("throughput: %s ops/s (paper: ~420K, 98%% of device IOPS)\n",
+		stats.FmtRate(res.Throughput))
+	fmt.Printf("latency:    mean=%s p99=%s max=%s (paper: p99 2.4ms, max 3.9ms)\n",
+		stats.FmtDur(res.Lat.Mean()), stats.FmtDur(res.Lat.Percentile(0.99)), stats.FmtDur(res.Lat.Max()))
+	fmt.Printf("CPU:        %.0f%% busy (paper: not CPU-bound, ~40%% busy + waiting)\n",
+		100*res.CPUUtil.MeanFraction(1))
+	c := res.Disks[0].Counters()
+	fmt.Printf("device:     %d reads, %d writes (%.2f I/Os per request)\n",
+		c.ReadOps, c.WriteOps, float64(c.TotalOps())/float64(res.Ops))
+}

@@ -1,0 +1,103 @@
+// YCSB example: drive a real (file-backed) KVell store with the YCSB
+// workload generator and report throughput and latency percentiles.
+//
+//	go run ./examples/ycsb -workload A -records 20000 -ops 50000 -clients 8
+//
+// This exercises the real runtime; the paper's simulated-hardware numbers
+// come from cmd/kvell-bench instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"kvell"
+	"kvell/internal/kv"
+	"kvell/internal/ycsb"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "A", "YCSB core workload (A-F)")
+		records  = flag.Int64("records", 20_000, "initial records")
+		ops      = flag.Int64("ops", 50_000, "operations to run")
+		clients  = flag.Int("clients", 8, "client goroutines")
+		itemSize = flag.Int("item", 1024, "record size in bytes")
+		dir      = flag.String("dir", "", "data directory (default: temp)")
+	)
+	flag.Parse()
+
+	d := *dir
+	if d == "" {
+		var err error
+		d, err = os.MkdirTemp("", "kvell-ycsb")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(d)
+	}
+	db, err := kvell.Open(kvell.Options{Path: filepath.Join(d, "ycsb.kvell"), Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	gen := ycsb.NewGenerator(ycsb.Core((*workload)[0]), ycsb.Zipfian, *records, *itemSize, 42)
+	fmt.Printf("loading %d records of %dB...\n", *records, *itemSize)
+	for _, it := range gen.InitialItems() {
+		if err := db.Put(it.Key, it.Value); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("running %d x YCSB-%s operations on %d clients...\n", *ops, *workload, *clients)
+	var mu sync.Mutex
+	var lats []time.Duration
+	reqs := make(chan *kv.Request, 1024)
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range reqs {
+				t0 := time.Now()
+				switch r.Op {
+				case kv.OpGet:
+					db.Get(r.Key)
+				case kv.OpUpdate:
+					db.Put(r.Key, r.Value)
+				case kv.OpRMW:
+					db.Get(r.Key)
+					db.Put(r.Key, r.Value)
+				case kv.OpScan:
+					db.Scan(r.Key, r.ScanCount)
+				}
+				lat := time.Since(t0)
+				mu.Lock()
+				lats = append(lats, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	start := time.Now()
+	for i := int64(0); i < *ops; i++ {
+		reqs <- gen.Next()
+	}
+	close(reqs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+	fmt.Printf("throughput: %.0f ops/s\n", float64(*ops)/elapsed.Seconds())
+	fmt.Printf("latency: p50=%v p99=%v max=%v\n", pct(0.50), pct(0.99), lats[len(lats)-1])
+	st := db.Stats()
+	fmt.Printf("cache: %d hits / %d misses; disk: %d reads / %d writes\n",
+		st.CacheHits, st.CacheMisses, st.Reads, st.Writes)
+}

@@ -1,0 +1,3 @@
+module kvell
+
+go 1.22

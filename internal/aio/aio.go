@@ -1,0 +1,114 @@
+// Package aio is KVell's batched asynchronous I/O engine (§5.4), modeling
+// the Linux AIO io_submit/io_getevents interface: a worker submits up to
+// BatchSize requests with a single system call, amortizing syscall CPU cost
+// over the batch, and later collects completions. Because each worker owns
+// one I/O engine bound to one disk, the device queue length is bounded by
+// (batch size × workers per disk), the property §4.3 relies on to get both
+// high bandwidth and low latency.
+package aio
+
+import (
+	"kvell/internal/costs"
+	"kvell/internal/device"
+	"kvell/internal/env"
+)
+
+// IO is a single asynchronous page request. Tag carries engine state
+// through to completion.
+type IO struct {
+	Op   device.Op
+	Page int64
+	Buf  []byte
+	Tag  any
+}
+
+// Engine is a per-worker asynchronous I/O context.
+type Engine struct {
+	dev device.Disk
+
+	mu        env.Mutex
+	cond      env.Cond
+	completed []*IO
+	inflight  int
+
+	// Stats
+	Syscalls  int64
+	Submitted int64
+
+	// ChargeSyscalls disables syscall CPU accounting when false (used by
+	// recovery, which the paper measures in I/O time).
+	ChargeSyscalls bool
+}
+
+// New returns an I/O engine for dev using e's synchronization primitives.
+func New(e env.Env, dev device.Disk) *Engine {
+	a := &Engine{dev: dev, ChargeSyscalls: true}
+	a.mu = e.NewMutex()
+	a.cond = e.NewCond(a.mu)
+	return a
+}
+
+// Disk returns the underlying device.
+func (a *Engine) Disk() device.Disk { return a.dev }
+
+// Inflight returns the number of submitted-but-uncollected requests
+// (includes completions not yet returned by GetEvents).
+func (a *Engine) Inflight() int { return a.inflight }
+
+// Submit issues a batch of requests with the cost of one system call
+// (io_submit). Completion data becomes available via GetEvents.
+func (a *Engine) Submit(c env.Ctx, ios []*IO) {
+	if len(ios) == 0 {
+		return
+	}
+	if a.ChargeSyscalls {
+		c.CPU(costs.Syscall + env.Time(len(ios))*costs.SyscallPerReq)
+	}
+	a.Syscalls++
+	a.Submitted += int64(len(ios))
+	a.mu.Lock(c)
+	a.inflight += len(ios)
+	a.mu.Unlock(c)
+	for _, io := range ios {
+		io := io
+		a.dev.Submit(&device.Request{
+			Op:   io.Op,
+			Page: io.Page,
+			Buf:  io.Buf,
+			Done: func() {
+				// Runs on the simulation scheduler or a real executor
+				// goroutine; both may take the mutex (never held across a
+				// park by the worker).
+				a.mu.Lock(nil)
+				a.completed = append(a.completed, io)
+				a.mu.Unlock(nil)
+				a.cond.Signal(nil)
+			},
+		})
+	}
+}
+
+// GetEvents blocks until at least min completions are available (or none
+// can ever arrive) and returns them, charging one system call
+// (io_getevents). min is clamped to the number of requests in flight.
+func (a *Engine) GetEvents(c env.Ctx, min int) []*IO {
+	a.mu.Lock(c)
+	if min > a.inflight {
+		min = a.inflight
+	}
+	if min <= 0 && len(a.completed) == 0 {
+		a.mu.Unlock(c)
+		return nil
+	}
+	for len(a.completed) < min {
+		a.cond.Wait(c)
+	}
+	out := a.completed
+	a.completed = nil
+	a.inflight -= len(out)
+	a.mu.Unlock(c)
+	if a.ChargeSyscalls {
+		c.CPU(costs.Syscall + env.Time(len(out))*costs.SyscallPerReq/4)
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+// Package btree implements the lightweight in-memory B+ tree KVell uses to
+// track item locations on disk (§5.3 of the paper): byte-string keys map to
+// 64-bit disk locations, keys stay sorted for range scans, and the structure
+// reports its depth so the simulator can charge per-level lookup cost.
+//
+// The tree is not safe for concurrent use; KVell shards one tree per worker
+// (shared-nothing) and scans take a brief per-worker lock.
+package btree
+
+import (
+	"bytes"
+	"sort"
+)
+
+// maxKeys is the fan-out of a node; chosen so nodes are a few cache lines,
+// giving depth ~4-5 for millions of keys (the paper reports ~19B/item of
+// index overhead and predictable lookup times).
+const maxKeys = 64
+
+type node struct {
+	leaf     bool
+	keys     [][]byte
+	vals     []uint64 // parallel to keys; leaves only
+	children []*node  // internal nodes only; len(keys)+1
+	next     *node    // leaf chain for range scans
+}
+
+// Tree is an in-memory B+ tree from byte-string keys to uint64 values.
+// The zero value is not usable; call New.
+type Tree struct {
+	root  *node
+	size  int
+	depth int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}, depth: 1}
+}
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return t.size }
+
+// Depth returns the number of levels (>=1); used for lookup cost charging.
+func (t *Tree) Depth() int { return t.depth }
+
+// MemBytes estimates the tree's memory footprint in bytes (key bytes plus
+// per-item structure overhead), mirroring the paper's ~19B/item accounting.
+func (t *Tree) MemBytes() int64 {
+	var keyBytes int64
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, k := range n.keys {
+			keyBytes += int64(len(k))
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	// value (8B) + slice headers amortized (~11B/item at fanout 64)
+	return keyBytes + int64(t.size)*19
+}
+
+func (n *node) find(key []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool {
+		return bytes.Compare(n.keys[i], key) >= 0
+	})
+}
+
+// childIndex returns which child to descend into for key.
+func (n *node) childIndex(key []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool {
+		return bytes.Compare(key, n.keys[i]) < 0
+	})
+}
+
+// Get returns the value for key and whether it is present.
+func (t *Tree) Get(key []byte) (uint64, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.childIndex(key)]
+	}
+	i := n.find(key)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		return n.vals[i], true
+	}
+	return 0, false
+}
+
+func (n *node) full() bool { return len(n.keys) >= maxKeys }
+
+// splitChild splits the full child at index i of internal (or root) node n,
+// inserting the separator into n.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := len(child.keys) / 2
+	right := &node{leaf: child.leaf}
+	var sep []byte
+	if child.leaf {
+		// B+ leaf split: right gets keys[mid:], separator is right's first
+		// key (it stays in the leaf).
+		right.keys = append(right.keys, child.keys[mid:]...)
+		right.vals = append(right.vals, child.vals[mid:]...)
+		child.keys = child.keys[:mid:mid]
+		child.vals = child.vals[:mid:mid]
+		right.next = child.next
+		child.next = right
+		sep = right.keys[0]
+	} else {
+		// Internal split: middle key moves up.
+		sep = child.keys[mid]
+		right.keys = append(right.keys, child.keys[mid+1:]...)
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.keys = child.keys[:mid:mid]
+		child.children = child.children[: mid+1 : mid+1]
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Put inserts or replaces key with value v. The key bytes are copied.
+// It reports whether the key was newly inserted.
+func (t *Tree) Put(key []byte, v uint64) bool {
+	if t.root.full() {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+		t.depth++
+	}
+	n := t.root
+	for !n.leaf {
+		i := n.childIndex(key)
+		if n.children[i].full() {
+			n.splitChild(i)
+			// Re-evaluate which side the key belongs to.
+			if bytes.Compare(key, n.keys[i]) >= 0 {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+	i := n.find(key)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		n.vals[i] = v
+		return false
+	}
+	kc := append([]byte(nil), key...)
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = kc
+	n.vals = append(n.vals, 0)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = v
+	t.size++
+	return true
+}
+
+// Delete removes key, reporting whether it was present. Deletion is lazy
+// (no rebalancing): KVell's deletes are rare relative to lookups, and
+// under-full leaves only cost a little extra space.
+func (t *Tree) Delete(key []byte) bool {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.childIndex(key)]
+	}
+	i := n.find(key)
+	if i >= len(n.keys) || !bytes.Equal(n.keys[i], key) {
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	t.size--
+	return true
+}
+
+// firstLeafGE returns the leaf and index of the first key >= start
+// (possibly one past the leaf's last key; callers must advance).
+func (t *Tree) firstLeafGE(start []byte) (*node, int) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.childIndex(start)]
+	}
+	return n, n.find(start)
+}
+
+// AscendFrom calls fn for each key >= start in ascending order until fn
+// returns false.
+func (t *Tree) AscendFrom(start []byte, fn func(key []byte, v uint64) bool) {
+	n, i := t.firstLeafGE(start)
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// Range calls fn for each key in [start, end) in ascending order until fn
+// returns false. A nil end means no upper bound.
+func (t *Tree) Range(start, end []byte, fn func(key []byte, v uint64) bool) {
+	t.AscendFrom(start, func(k []byte, v uint64) bool {
+		if end != nil && bytes.Compare(k, end) >= 0 {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+// FirstN collects up to n (key, value) pairs with key >= start.
+func (t *Tree) FirstN(start []byte, n int) (keys [][]byte, vals []uint64) {
+	t.AscendFrom(start, func(k []byte, v uint64) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return len(keys) < n
+	})
+	return keys, vals
+}
+
+// Min returns the smallest key (nil if empty).
+func (t *Tree) Min() []byte {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	if len(n.keys) == 0 {
+		// Lazy deletion can empty the leftmost leaf; follow the chain.
+		for n != nil && len(n.keys) == 0 {
+			n = n.next
+		}
+		if n == nil {
+			return nil
+		}
+	}
+	return n.keys[0]
+}

@@ -1,0 +1,123 @@
+// Package core implements KVell (§4-5 of the paper): a shared-nothing
+// persistent key-value store for fast NVMe SSDs. Each worker thread owns a
+// partition of the key space with its own in-memory B-tree index, page
+// cache, free lists and slab files, performs batched asynchronous I/O to a
+// single disk, and acknowledges updates only once they are durable at their
+// final location — there is no commit log, no on-disk sort order and no
+// background maintenance.
+package core
+
+import (
+	"fmt"
+
+	"kvell/internal/device"
+	"kvell/internal/pagecache"
+	"kvell/internal/slab"
+)
+
+// Config describes a KVell store.
+type Config struct {
+	// Workers is the number of shared-nothing worker threads. Requests are
+	// routed to workers by key hash (§4.1).
+	Workers int
+	// Disks are the block devices. Each worker stores its slabs on exactly
+	// one disk (workers round-robin over disks), bounding each disk's
+	// queue to BatchSize × workers-per-disk requests (§4.3).
+	Disks []device.Disk
+	// PageCachePages is the total capacity of the internal page caches,
+	// split evenly among workers (§5.3).
+	PageCachePages int
+	// BatchSize is the maximum I/O batch per io_submit (§5.4; paper: 64).
+	BatchSize int
+	// FreelistHeads is N, the per-slab bound on in-memory free-list heads
+	// (§5.3; paper: 64).
+	FreelistHeads int
+	// Classes are the slab size-class strides (§5.2).
+	Classes []int
+	// CacheIndex selects the page-cache index structure (B-tree in
+	// production; the hash variant reproduces the paper's tail-latency
+	// anecdote as an ablation).
+	CacheIndex pagecache.IndexKind
+	// ExtentPages is the growth increment of each slab, in pages.
+	ExtentPages int64
+	// WorkerRegionPages is the disk space reserved per worker (per-class
+	// sub-regions are carved from it deterministically, which is what
+	// makes manifest-free recovery possible).
+	WorkerRegionPages int64
+
+	// WithCommitLog enables the ablation variant that appends every
+	// update to a per-worker sequential commit log before writing it to
+	// its final location, to measure what §4.4 avoids.
+	WithCommitLog bool
+
+	// NoInPlaceUpdates enables the §5.6 variant for drives that cannot
+	// write 4KB pages atomically across power failures: updates never
+	// modify a live page in place — the new value goes to a fresh slot
+	// and the old slot is tombstoned only after the write is durable.
+	NoInPlaceUpdates bool
+
+	// SharedEverything is the §4.1 counter-design ablation: all workers
+	// share one index, one page cache and one set of slabs behind a
+	// global lock (the "conventional KV design" the paper contrasts
+	// with). Simulation-only.
+	SharedEverything bool
+}
+
+// DefaultConfig returns the paper's configuration over the given disks.
+func DefaultConfig(disks ...device.Disk) Config {
+	return Config{
+		Workers:           4,
+		Disks:             disks,
+		PageCachePages:    8192,
+		BatchSize:         64,
+		FreelistHeads:     64,
+		Classes:           slab.DefaultClasses,
+		CacheIndex:        pagecache.IndexBTree,
+		ExtentPages:       1024,
+		WorkerRegionPages: 1 << 24, // 64GB of page numbers per worker
+	}
+}
+
+func (c *Config) validate() error {
+	if len(c.Disks) == 0 {
+		return fmt.Errorf("core: no disks configured")
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 64
+	}
+	if c.FreelistHeads < 1 {
+		c.FreelistHeads = 64
+	}
+	if len(c.Classes) == 0 {
+		c.Classes = slab.DefaultClasses
+	}
+	if c.ExtentPages < 1 {
+		c.ExtentPages = 1024
+	}
+	if c.PageCachePages < c.Workers {
+		c.PageCachePages = c.Workers
+	}
+	if c.WorkerRegionPages == 0 {
+		c.WorkerRegionPages = 1 << 24
+	}
+	perClass := c.WorkerRegionPages / int64(len(c.Classes)+1)
+	if perClass < 4*c.ExtentPages {
+		return fmt.Errorf("core: worker region %d pages too small for %d classes of %d-page extents",
+			c.WorkerRegionPages, len(c.Classes), c.ExtentPages)
+	}
+	return nil
+}
+
+// Location encodes where an item lives: the slab class in the top byte and
+// the slot within the slab below. A worker's index maps keys to locations.
+type location uint64
+
+func loc(class int, slot uint64) location {
+	return location(uint64(class)<<56 | (slot & (1<<56 - 1)))
+}
+
+func (l location) class() int   { return int(uint64(l) >> 56) }
+func (l location) slot() uint64 { return uint64(l) & (1<<56 - 1) }

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"kvell/internal/env"
+	"kvell/internal/kv"
+)
+
+// waiter turns the asynchronous request interface into a blocking call for
+// the calling thread.
+type waiter struct {
+	mu   env.Mutex
+	cond env.Cond
+	done bool
+	res  kv.Result
+}
+
+func (s *Store) newWaiter() *waiter {
+	w := &waiter{mu: s.env.NewMutex()}
+	w.cond = s.env.NewCond(w.mu)
+	return w
+}
+
+func (w *waiter) complete(res kv.Result) {
+	w.mu.Lock(nil)
+	w.res = res
+	w.done = true
+	w.mu.Unlock(nil)
+	w.cond.Broadcast(nil)
+}
+
+func (w *waiter) wait(c env.Ctx) kv.Result {
+	w.mu.Lock(c)
+	for !w.done {
+		w.cond.Wait(c)
+	}
+	w.mu.Unlock(c)
+	return w.res
+}
+
+// Do submits r and blocks the calling thread until it completes.
+func (s *Store) Do(c env.Ctx, r *kv.Request) kv.Result {
+	w := s.newWaiter()
+	prev := r.Done
+	r.Done = func(res kv.Result) {
+		if prev != nil {
+			prev(res)
+		}
+		w.complete(res)
+	}
+	s.Submit(c, r)
+	return w.wait(c)
+}
+
+// Put durably stores value under key, blocking until the write has reached
+// its final location on disk (§4.4: updates are acknowledged only then).
+func (s *Store) Put(c env.Ctx, key, value []byte) {
+	s.Do(c, &kv.Request{Op: kv.OpUpdate, Key: key, Value: value})
+}
+
+// Get returns the most recent value of key.
+func (s *Store) Get(c env.Ctx, key []byte) ([]byte, bool) {
+	res := s.Do(c, &kv.Request{Op: kv.OpGet, Key: key})
+	return res.Value, res.Found
+}
+
+// Delete removes key, reporting whether it existed.
+func (s *Store) Delete(c env.Ctx, key []byte) bool {
+	return s.Do(c, &kv.Request{Op: kv.OpDelete, Key: key}).Found
+}

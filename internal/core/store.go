@@ -1,0 +1,322 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"kvell/internal/btree"
+	"kvell/internal/costs"
+	"kvell/internal/device"
+	"kvell/internal/env"
+	"kvell/internal/kv"
+	"kvell/internal/pagecache"
+	"kvell/internal/slab"
+)
+
+// Store is a KVell key-value store.
+type Store struct {
+	env     env.Env
+	cfg     Config
+	workers []*worker
+	started bool
+}
+
+// Open constructs a store (no I/O happens yet). If the disks contain data
+// from a previous run, call Recover before Start; otherwise call Start
+// directly.
+func Open(e env.Env, cfg Config) (*Store, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Store{env: e, cfg: cfg}
+	d := len(cfg.Disks)
+	perClass := cfg.WorkerRegionPages / int64(len(cfg.Classes)+1)
+	cachePer := cfg.PageCachePages / cfg.Workers
+	for i := 0; i < cfg.Workers; i++ {
+		disk := cfg.Disks[i%d]
+		ordinal := int64(i / d)
+		base := ordinal * cfg.WorkerRegionPages
+		w := &worker{
+			st:           s,
+			id:           i,
+			q:            e.NewQueue(),
+			dev:          disk,
+			idx:          btree.New(),
+			idxMu:        e.NewMutex(),
+			cache:        pagecache.New(cachePer, cfg.CacheIndex),
+			pendingReads: make(map[int64]*pendingRead),
+			tailPage:     make(map[int]int64),
+			ts:           1,
+		}
+		for ci, stride := range cfg.Classes {
+			alloc := device.NewAllocator(base + int64(ci)*perClass)
+			w.slabs = append(w.slabs, slab.New(ci, stride, alloc, cfg.ExtentPages, cfg.FreelistHeads))
+		}
+		w.logBase = base + int64(len(cfg.Classes))*perClass
+		w.logPages = perClass
+		w.state = w
+		w.initAIO()
+		s.workers = append(s.workers, w)
+	}
+	if cfg.SharedEverything {
+		if len(cfg.Disks) != 1 {
+			return nil, fmt.Errorf("core: SharedEverything requires exactly one disk")
+		}
+		// All threads operate on worker 0's structures behind one lock
+		// and drain one shared queue (§4.1's conventional design).
+		base := s.workers[0]
+		shMu := e.NewMutex()
+		for _, w := range s.workers {
+			w.state = base
+			w.shMu = shMu
+			w.q = base.q
+		}
+	}
+	return s, nil
+}
+
+// scanWorkers returns the distinct index owners (one in shared mode).
+func (s *Store) scanWorkers() []*worker {
+	if s.cfg.SharedEverything {
+		return s.workers[:1]
+	}
+	return s.workers
+}
+
+// Config returns the store's configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Start launches the worker threads.
+func (s *Store) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for _, w := range s.workers {
+		w := w
+		s.env.Go(fmt.Sprintf("kvell-worker-%d", w.id), w.run)
+	}
+}
+
+// Stop closes the request queues; workers drain in-flight work and exit.
+func (s *Store) Stop(c env.Ctx) {
+	for _, w := range s.workers {
+		w.q.Close(c)
+	}
+}
+
+// Name implements kv.Engine.
+func (s *Store) Name() string { return "KVell" }
+
+func (s *Store) workerFor(key []byte) *worker {
+	w := s.workers[kv.Hash64(key)%uint64(len(s.workers))]
+	return w.state // shared mode: one state owner
+}
+
+// Submit implements kv.Engine. Point operations are enqueued to the owning
+// worker (the client thread only computes the hash, §5.5); scans execute on
+// the calling thread, coordinating with workers (§5.5 Scan).
+func (s *Store) Submit(c env.Ctx, r *kv.Request) {
+	if r.Op == kv.OpScan {
+		items := s.ScanN(c, r.Key, r.ScanCount)
+		if r.Done != nil {
+			r.Done(kv.Result{Found: len(items) > 0, ScanN: len(items)})
+		}
+		return
+	}
+	c.CPU(costs.Callback) // route + enqueue
+	s.workerFor(r.Key).q.Push(c, r)
+}
+
+// candidate is a scan candidate gathered from a worker index.
+type candidate struct {
+	key []byte
+	l   location
+	w   *worker
+}
+
+// scanJoin collects scan read completions.
+type scanJoin struct {
+	mu        env.Mutex
+	cond      env.Cond
+	remaining int
+	items     []kv.Item
+}
+
+// ScanN returns up to count items with key >= start, in key order, reading
+// each item's current value. Per §5.5, the scanning thread briefly locks
+// each worker's index in turn, merges the candidate keys, and then issues
+// location-direct reads that bypass the index lookup.
+func (s *Store) ScanN(c env.Ctx, start []byte, count int) []kv.Item {
+	cands := s.collect(c, func(w *worker) ([][]byte, []uint64) {
+		return w.idx.FirstN(start, count)
+	})
+	if len(cands) > count {
+		cands = cands[:count]
+	}
+	return s.fetch(c, cands)
+}
+
+// ScanRange returns all items with start <= key < end in key order.
+func (s *Store) ScanRange(c env.Ctx, start, end []byte) []kv.Item {
+	cands := s.collect(c, func(w *worker) ([][]byte, []uint64) {
+		var ks [][]byte
+		var vs []uint64
+		w.idx.Range(start, end, func(k []byte, v uint64) bool {
+			ks = append(ks, k)
+			vs = append(vs, v)
+			return true
+		})
+		return ks, vs
+	})
+	return s.fetch(c, cands)
+}
+
+func (s *Store) collect(c env.Ctx, gather func(w *worker) ([][]byte, []uint64)) []candidate {
+	var cands []candidate
+	for _, w := range s.scanWorkers() {
+		c.CPU(costs.LockUncontended)
+		w.idxMu.Lock(c)
+		ks, vs := gather(w)
+		w.idxMu.Unlock(c)
+		c.CPU(env.Time(w.idx.Depth())*costs.BTreeNode + env.Time(len(ks))*costs.IterStep)
+		for i := range ks {
+			cands = append(cands, candidate{key: ks[i], l: location(vs[i]), w: w})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return bytes.Compare(cands[i].key, cands[j].key) < 0 })
+	c.CPU(env.Time(len(cands)) * costs.IterStep) // merge
+	return cands
+}
+
+// fetch reads the values for cands via location-direct worker requests and
+// blocks until all arrive.
+func (s *Store) fetch(c env.Ctx, cands []candidate) []kv.Item {
+	if len(cands) == 0 {
+		return nil
+	}
+	j := &scanJoin{mu: s.env.NewMutex(), remaining: len(cands), items: make([]kv.Item, len(cands))}
+	j.cond = s.env.NewCond(j.mu)
+	for i, cd := range cands {
+		i, cd := i, cd
+		j.items[i].Key = cd.key
+		cd.w.q.Push(c, &locReq{key: cd.key, l: cd.l, join: j, idx: i})
+	}
+	j.mu.Lock(c)
+	for j.remaining > 0 {
+		j.cond.Wait(c)
+	}
+	j.mu.Unlock(c)
+	// Drop candidates whose item vanished between index snapshot and read.
+	out := j.items[:0]
+	for _, it := range j.items {
+		if it.Value != nil {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// BulkLoad implements kv.Engine: it installs items directly into slabs and
+// indexes, bypassing the timed request path (the unmeasured load phase).
+// Keys must be unique. Items are placed in deterministically shuffled slot
+// order — the paper loads KVell in random key order ("for fairness",
+// §6.3.1) so that consecutive keys do not share disk pages, which would
+// otherwise give unsorted storage an artificial scan-locality advantage.
+func (s *Store) BulkLoad(items []kv.Item) error {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	r := rand.New(rand.NewSource(0x4B56656C6C)) // "KVell"
+	r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	type pageBuf struct {
+		disk device.Disk
+		data []byte
+	}
+	pages := make(map[int64]*pageBuf) // key: global page id per disk pointer—disallow collisions by including worker
+	getPage := func(w *worker, page int64) []byte {
+		// Page ids are disjoint across disks only per disk; key by disk index too.
+		k := page*int64(len(s.cfg.Disks)) + int64(w.id%len(s.cfg.Disks))
+		pb, ok := pages[k]
+		if !ok {
+			pb = &pageBuf{disk: w.dev, data: make([]byte, device.PageSize)}
+			pages[k] = pb
+		}
+		return pb.data
+	}
+	for _, oi := range order {
+		it := items[oi]
+		w := s.workerFor(it.Key)
+		cls := slab.ClassFor(s.cfg.Classes, len(it.Key), len(it.Value))
+		if cls < 0 {
+			return fmt.Errorf("core: item with key %q too large for configured classes", it.Key)
+		}
+		sl := w.slabs[cls]
+		slot, _ := sl.Alloc()
+		ts := w.nextTS()
+		if sl.MultiPage() {
+			buf := make([]byte, sl.PagesPerSlot()*device.PageSize)
+			if err := sl.EncodeItem(buf, ts, it.Key, it.Value); err != nil {
+				return err
+			}
+			if err := storeOf(w.dev).WritePages(sl.SlotPage(slot), buf); err != nil {
+				return err
+			}
+		} else {
+			page := sl.SlotPage(slot)
+			data := getPage(w, page)
+			if err := sl.EncodeItem(data[sl.SlotOffset(slot):sl.SlotOffset(slot)+sl.Stride], ts, it.Key, it.Value); err != nil {
+				return err
+			}
+		}
+		w.idx.Put(it.Key, uint64(loc(cls, slot)))
+	}
+	// Flush accumulated sub-page buffers.
+	for k, pb := range pages {
+		page := k / int64(len(s.cfg.Disks))
+		if err := storeOf(pb.disk).WritePages(page, pb.data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// storeAccessor is implemented by both SimDisk and RealDisk.
+type storeAccessor interface{ Store() device.Store }
+
+func storeOf(d device.Disk) device.Store {
+	return d.(storeAccessor).Store()
+}
+
+// Stats is an aggregate snapshot across workers.
+type Stats struct {
+	Items        int64
+	IndexBytes   int64
+	CacheHits    int64
+	CacheMisses  int64
+	Syscalls     int64
+	IOsSubmitted int64
+	Requests     int64
+	FreeReused   int64
+}
+
+// Stats returns aggregate statistics.
+func (s *Store) Stats() Stats {
+	var st Stats
+	for _, w := range s.scanWorkers() {
+		st.Items += int64(w.idx.Len())
+		st.IndexBytes += w.idx.MemBytes()
+		st.CacheHits += w.cache.Hits()
+		st.CacheMisses += w.cache.Misses()
+		st.Syscalls += w.aio.Syscalls
+		st.IOsSubmitted += w.aio.Submitted
+		st.Requests += w.reqs
+		for _, sl := range w.slabs {
+			st.FreeReused += sl.Free.Reused()
+		}
+	}
+	return st
+}

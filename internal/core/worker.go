@@ -1,0 +1,523 @@
+package core
+
+import (
+	"bytes"
+
+	"kvell/internal/aio"
+	"kvell/internal/btree"
+	"kvell/internal/costs"
+	"kvell/internal/device"
+	"kvell/internal/env"
+	"kvell/internal/freelist"
+	"kvell/internal/kv"
+	"kvell/internal/pagecache"
+	"kvell/internal/slab"
+)
+
+// ioCont is the continuation attached to an asynchronous I/O; it runs in
+// worker context when the I/O completes and may emit follow-up I/Os.
+type ioCont func(c env.Ctx, io *aio.IO, out *[]*aio.IO)
+
+// locReq is an internal location-direct read used by scans (§5.5: scan
+// reads bypass the index because the scanner already consulted it). The
+// expected key guards against the slot having been freed and reused for a
+// different key between the index snapshot and the read.
+type locReq struct {
+	key  []byte
+	l    location
+	join *scanJoin
+	idx  int
+}
+
+// pendingRead deduplicates concurrent reads of the same page: operations
+// arriving while a read is in flight join it instead of re-reading.
+type pendingRead struct {
+	joiners []func(c env.Ctx, data []byte, out *[]*aio.IO)
+}
+
+// worker owns one shard of the key space: index, page cache, slabs, free
+// lists and one I/O engine bound to one disk. Nothing here is shared with
+// other workers except the index mutex scans take briefly (§4.1).
+//
+// In the SharedEverything ablation, state points at a single worker whose
+// index/cache/slabs all threads operate on under shMu — the conventional
+// shared design the paper contrasts with.
+type worker struct {
+	st    *Store
+	id    int
+	q     env.Queue
+	dev   device.Disk
+	idx   *btree.Tree
+	idxMu env.Mutex
+	cache *pagecache.Cache
+	slabs []*slab.Slab
+	aio   *aio.Engine
+	ts    uint64
+	state *worker   // shared-state owner (== self in shared-nothing mode)
+	shMu  env.Mutex // global lock (nil in shared-nothing mode)
+
+	pendingReads map[int64]*pendingRead
+	tailPage     map[int]int64     // class -> pinned append-tail page
+	liveTS       map[string]uint64 // recovery only: newest ts seen per key
+
+	// commit-log ablation state
+	logBase, logPages int64
+	logCursor         int64
+
+	reqs int64
+}
+
+func (w *worker) initAIO() { w.aio = aio.New(w.st.env, w.dev) }
+
+func (w *worker) nextTS() uint64 {
+	t := w.ts
+	w.ts++
+	return t
+}
+
+// run is the worker main loop — Algorithm 1 of the paper: pop a batch of
+// client requests, turn them into I/Os, submit the batch with one syscall,
+// then collect and process completions (which may emit follow-up I/Os).
+func (w *worker) run(c env.Ctx) {
+	batch := w.st.cfg.BatchSize
+	state := w.state
+	var out []*aio.IO
+	for {
+		var reqs []any
+		if w.aio.Inflight() == 0 {
+			reqs = w.q.PopWait(c, batch)
+			if reqs == nil {
+				return // queue closed and drained, no I/O in flight
+			}
+		} else {
+			reqs = w.q.TryPop(c, batch)
+		}
+		out = out[:0]
+		w.lockShared(c)
+		for _, r := range reqs {
+			w.reqs++
+			switch t := r.(type) {
+			case *kv.Request:
+				state.start(c, t, &out)
+			case *locReq:
+				state.startLoc(c, t, &out)
+			}
+		}
+		w.aio.Submit(c, out)
+		w.unlockShared(c)
+		if w.aio.Inflight() > 0 {
+			evs := w.aio.GetEvents(c, 1)
+			out = out[:0]
+			w.lockShared(c)
+			for _, io := range evs {
+				io.Tag.(ioCont)(c, io, &out)
+			}
+			w.aio.Submit(c, out)
+			w.unlockShared(c)
+		}
+	}
+}
+
+// lockShared serializes on the global structure lock in the
+// SharedEverything ablation; a no-op in KVell's shared-nothing design.
+func (w *worker) lockShared(c env.Ctx) {
+	if w.shMu != nil {
+		c.CPU(costs.LockUncontended)
+		w.shMu.Lock(c)
+	}
+}
+
+func (w *worker) unlockShared(c env.Ctx) {
+	if w.shMu != nil {
+		w.shMu.Unlock(c)
+	}
+}
+
+// lookup consults the in-memory index, charging the descent cost.
+func (w *worker) lookup(c env.Ctx, key []byte) (location, bool) {
+	c.CPU(env.Time(w.idx.Depth()) * costs.BTreeNode)
+	w.idxMu.Lock(c)
+	v, ok := w.idx.Get(key)
+	w.idxMu.Unlock(c)
+	return location(v), ok
+}
+
+func (w *worker) indexPut(c env.Ctx, key []byte, l location) {
+	c.CPU(env.Time(w.idx.Depth()) * costs.BTreeNode)
+	w.idxMu.Lock(c)
+	w.idx.Put(key, uint64(l))
+	w.idxMu.Unlock(c)
+}
+
+func (w *worker) indexDelete(c env.Ctx, key []byte) {
+	c.CPU(env.Time(w.idx.Depth()) * costs.BTreeNode)
+	w.idxMu.Lock(c)
+	w.idx.Delete(key)
+	w.idxMu.Unlock(c)
+}
+
+func (w *worker) start(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
+	switch r.Op {
+	case kv.OpGet:
+		l, ok := w.lookup(c, r.Key)
+		if !ok {
+			w.respond(c, r, kv.Result{})
+			return
+		}
+		w.doGet(c, l, func(c env.Ctx, val []byte, out *[]*aio.IO) {
+			w.respond(c, r, kv.Result{Found: val != nil, Value: val})
+		}, out)
+	case kv.OpUpdate:
+		w.doUpdate(c, r.Key, r.Value, func(c env.Ctx, out *[]*aio.IO) {
+			w.respond(c, r, kv.Result{Found: true})
+		}, out)
+	case kv.OpDelete:
+		w.doDelete(c, r, out)
+	case kv.OpRMW:
+		// Read the current value, then write the new one (YCSB F).
+		l, ok := w.lookup(c, r.Key)
+		if !ok {
+			w.respond(c, r, kv.Result{})
+			return
+		}
+		w.doGet(c, l, func(c env.Ctx, val []byte, out *[]*aio.IO) {
+			w.doUpdate(c, r.Key, r.Value, func(c env.Ctx, out *[]*aio.IO) {
+				w.respond(c, r, kv.Result{Found: true})
+			}, out)
+		}, out)
+	default:
+		w.respond(c, r, kv.Result{})
+	}
+}
+
+func (w *worker) startLoc(c env.Ctx, lr *locReq, out *[]*aio.IO) {
+	w.doGetKey(c, lr.key, lr.l, func(c env.Ctx, val []byte, out *[]*aio.IO) {
+		j := lr.join
+		j.mu.Lock(c)
+		j.items[lr.idx].Value = val
+		j.remaining--
+		done := j.remaining == 0
+		j.mu.Unlock(c)
+		if done {
+			j.cond.Broadcast(c)
+		}
+	}, out)
+}
+
+func (w *worker) respond(c env.Ctx, r *kv.Request, res kv.Result) {
+	c.CPU(costs.Callback)
+	if r.Done != nil {
+		r.Done(res)
+	}
+}
+
+// readPage reads page through the pending-read table, delivering the data
+// (which is also inserted into the page cache) to fn.
+func (w *worker) readPage(c env.Ctx, page int64, fn func(c env.Ctx, data []byte, out *[]*aio.IO), out *[]*aio.IO) {
+	if pr, ok := w.pendingReads[page]; ok {
+		pr.joiners = append(pr.joiners, fn)
+		return
+	}
+	pr := &pendingRead{joiners: []func(env.Ctx, []byte, *[]*aio.IO){fn}}
+	w.pendingReads[page] = pr
+	buf := make([]byte, device.PageSize)
+	*out = append(*out, &aio.IO{
+		Op:   device.Read,
+		Page: page,
+		Buf:  buf,
+		Tag: ioCont(func(c env.Ctx, io *aio.IO, out *[]*aio.IO) {
+			delete(w.pendingReads, page)
+			w.cacheInsert(c, page, io.Buf)
+			for _, j := range pr.joiners {
+				j(c, io.Buf, out)
+			}
+		}),
+	})
+}
+
+func (w *worker) cacheInsert(c env.Ctx, page int64, data []byte) {
+	w.cache.Insert(page, data)
+	c.CPU(w.cache.InsertCost())
+}
+
+// writePage submits a page write; done (optional) runs when durable.
+func (w *worker) writePage(page int64, data []byte, done func(c env.Ctx, out *[]*aio.IO), out *[]*aio.IO) {
+	*out = append(*out, &aio.IO{
+		Op:   device.Write,
+		Page: page,
+		Buf:  data,
+		Tag: ioCont(func(c env.Ctx, io *aio.IO, out *[]*aio.IO) {
+			if done != nil {
+				done(c, out)
+			}
+		}),
+	})
+}
+
+// applyToPage obtains the page (cache hit or read), applies fn in place,
+// writes it back, and calls done once the write is durable. This is the
+// read-modify-write at the heart of in-place slab updates: cached pages
+// cost 1 I/O, uncached 2 (§6.3.1's accounting).
+func (w *worker) applyToPage(c env.Ctx, page int64, apply func(c env.Ctx, data []byte), done func(c env.Ctx, out *[]*aio.IO), out *[]*aio.IO) {
+	c.CPU(w.cache.LookupCost())
+	if data := w.cache.Get(page); data != nil {
+		apply(c, data)
+		w.writePage(page, data, done, out)
+		return
+	}
+	w.readPage(c, page, func(c env.Ctx, data []byte, out *[]*aio.IO) {
+		apply(c, data)
+		w.writePage(page, data, done, out)
+	}, out)
+}
+
+// doGet fetches the value at location l and passes it to fn (nil if the
+// slot no longer holds a live item).
+func (w *worker) doGet(c env.Ctx, l location, fn func(c env.Ctx, val []byte, out *[]*aio.IO), out *[]*aio.IO) {
+	w.doGetKey(c, nil, l, fn, out)
+}
+
+// doGetKey is doGet with an optional expected key: when non-nil, a slot
+// whose live item carries a different key (freed and reused since the
+// caller looked it up) reads as absent.
+func (w *worker) doGetKey(c env.Ctx, expect []byte, l location, fn func(c env.Ctx, val []byte, out *[]*aio.IO), out *[]*aio.IO) {
+	sl := w.slabs[l.class()]
+	slot := l.slot()
+	if sl.MultiPage() {
+		// Multi-page items bypass the page cache (they would monopolize
+		// it) and are read in one large request.
+		buf := make([]byte, sl.PagesPerSlot()*device.PageSize)
+		*out = append(*out, &aio.IO{
+			Op:   device.Read,
+			Page: sl.SlotPage(slot),
+			Buf:  buf,
+			Tag: ioCont(func(c env.Ctx, io *aio.IO, out *[]*aio.IO) {
+				d, err := sl.DecodeSlot(io.Buf)
+				if err != nil || d.Kind != slab.Live || (expect != nil && !bytes.Equal(d.Item.Key, expect)) {
+					fn(c, nil, out)
+					return
+				}
+				c.CPU(costs.MemBytes(len(d.Item.Value)))
+				fn(c, d.Item.Value, out)
+			}),
+		})
+		return
+	}
+	page, off := sl.SlotPage(slot), sl.SlotOffset(slot)
+	deliver := func(c env.Ctx, data []byte, out *[]*aio.IO) {
+		d, err := sl.DecodeSlot(data[off : off+sl.Stride])
+		if err != nil || d.Kind != slab.Live || (expect != nil && !bytes.Equal(d.Item.Key, expect)) {
+			fn(c, nil, out)
+			return
+		}
+		c.CPU(costs.MemBytes(len(d.Item.Value)))
+		// make (not append) so that a present-but-empty value stays
+		// non-nil: callers use nil to mean "not found".
+		val := make([]byte, len(d.Item.Value))
+		copy(val, d.Item.Value)
+		fn(c, val, out)
+	}
+	c.CPU(w.cache.LookupCost())
+	if data := w.cache.Get(page); data != nil {
+		deliver(c, data, out)
+		return
+	}
+	w.readPage(c, page, deliver, out)
+}
+
+// doUpdate writes (key, value) and calls done once it is durable at its
+// final location. It covers all §5.2 cases: in-place update, fresh append,
+// free-slot reuse (with free-list chain recovery), size-class migration and
+// multi-page append+tombstone.
+func (w *worker) doUpdate(c env.Ctx, key, value []byte, done func(c env.Ctx, out *[]*aio.IO), out *[]*aio.IO) {
+	cls := slab.ClassFor(w.st.cfg.Classes, len(key), len(value))
+	if cls < 0 {
+		panic("core: item exceeds largest configured size class")
+	}
+	old, exists := w.lookup(c, key)
+	ts := w.nextTS()
+	newSl := w.slabs[cls]
+	c.CPU(costs.MemBytes(len(key) + len(value))) // marshal into page image
+
+	if w.st.cfg.WithCommitLog {
+		done = w.withCommitLog(c, len(key)+len(value), done, out)
+	}
+
+	// Case 1: in-place update (same class, sub-page item). Skipped in the
+	// NoInPlaceUpdates variant (§5.6): drives that cannot write a 4KB
+	// page atomically must never overwrite the only durable copy.
+	if exists && old.class() == cls && !newSl.MultiPage() && !w.st.cfg.NoInPlaceUpdates {
+		slot := old.slot()
+		page, off := newSl.SlotPage(slot), newSl.SlotOffset(slot)
+		w.applyToPage(c, page, func(c env.Ctx, data []byte) {
+			if err := newSl.EncodeItem(data[off:off+newSl.Stride], ts, key, value); err != nil {
+				panic(err)
+			}
+		}, done, out)
+		return
+	}
+
+	// Allocate a slot in the target class and install the new location.
+	slot, reused := newSl.Alloc()
+	w.indexPut(c, key, loc(cls, slot))
+	if !exists {
+		newSl.Live++
+	}
+
+	// After the new value is durable: tombstone the old location — the
+	// item always moved if it existed and we are here (§5.2: "first
+	// writes the updated item in its new slab and then deletes it from
+	// the old one"; same ordering protects the §5.6 no-in-place variant).
+	finish := func(c env.Ctx, out *[]*aio.IO) {
+		if exists {
+			w.writeTombstone(c, old, w.nextTS(), out)
+		}
+		done(c, out)
+	}
+
+	if newSl.MultiPage() {
+		buf := make([]byte, newSl.PagesPerSlot()*device.PageSize)
+		if err := newSl.EncodeItem(buf, ts, key, value); err != nil {
+			panic(err)
+		}
+		writeSlot := func(c env.Ctx, out *[]*aio.IO) {
+			*out = append(*out, &aio.IO{
+				Op: device.Write, Page: newSl.SlotPage(slot), Buf: buf,
+				Tag: ioCont(func(c env.Ctx, io *aio.IO, out *[]*aio.IO) { finish(c, out) }),
+			})
+		}
+		if reused {
+			// Recover the free-list chain from the old tombstone before
+			// overwriting it.
+			w.readPage(c, newSl.SlotPage(slot), func(c env.Ctx, data []byte, out *[]*aio.IO) {
+				w.recoverChain(newSl, data[:slab.HeaderSize+8])
+				w.cache.Remove(newSl.SlotPage(slot)) // page belongs to a multi-page slot
+				writeSlot(c, out)
+			}, out)
+			return
+		}
+		writeSlot(c, out)
+		return
+	}
+
+	// Sub-page slot: fresh append to a brand-new page avoids any read.
+	page, off := newSl.SlotPage(slot), newSl.SlotOffset(slot)
+	apply := func(c env.Ctx, data []byte) {
+		if reused {
+			w.recoverChain(newSl, data[off:off+newSl.Stride])
+		}
+		if err := newSl.EncodeItem(data[off:off+newSl.Stride], ts, key, value); err != nil {
+			panic(err)
+		}
+	}
+	if !reused && newSl.AppendPageFresh(slot) {
+		data := make([]byte, device.PageSize)
+		apply(c, data)
+		w.cacheInsert(c, page, data)
+		// Pin the new tail page so subsequent appends hit the cache;
+		// unpin the previous tail.
+		if prev, ok := w.tailPage[cls]; ok {
+			w.cache.Unpin(prev)
+		}
+		w.cache.Pin(page)
+		w.tailPage[cls] = page
+		w.writePage(page, data, finish, out)
+		return
+	}
+	w.applyToPage(c, page, apply, finish, out)
+}
+
+// recoverChain reads a displaced free-list chain pointer out of a slot's
+// tombstone and reinstates it as an in-memory head.
+func (w *worker) recoverChain(sl *slab.Slab, slotBuf []byte) {
+	d, err := sl.DecodeSlot(padToStride(sl, slotBuf))
+	if err == nil && d.Kind == slab.Tombstone && d.ChainTo != freelist.NoSlot {
+		sl.Free.PushHead(d.ChainTo)
+	}
+}
+
+// padToStride returns a buffer DecodeSlot accepts for chain recovery: for
+// sub-page slabs the caller already passes exactly one stride; multi-page
+// slabs only have the first page available, which suffices for tombstones.
+func padToStride(sl *slab.Slab, b []byte) []byte {
+	want := sl.Stride
+	if len(b) == want {
+		return b
+	}
+	out := make([]byte, want)
+	copy(out, b)
+	return out
+}
+
+// writeTombstone marks location l deleted on disk, pushing the slot onto
+// its slab's free list and chaining per §5.3 when the in-memory heads are
+// full.
+func (w *worker) writeTombstone(c env.Ctx, l location, ts uint64, out *[]*aio.IO) {
+	sl := w.slabs[l.class()]
+	slot := l.slot()
+	chainTo, chained := sl.Free.Push(slot)
+	if !chained {
+		chainTo = freelist.NoSlot
+	}
+	sl.Live--
+	if sl.MultiPage() {
+		// The slot owns whole pages; writing the first page alone is
+		// enough (decode stops at the tombstone flag).
+		data := make([]byte, device.PageSize)
+		sl.EncodeTombstone(data, ts, chainTo)
+		w.cache.Remove(sl.SlotPage(slot))
+		w.writePage(sl.SlotPage(slot), data, nil, out)
+		return
+	}
+	page, off := sl.SlotPage(slot), sl.SlotOffset(slot)
+	w.applyToPage(c, page, func(c env.Ctx, data []byte) {
+		sl.EncodeTombstone(data[off:off+sl.Stride], ts, chainTo)
+	}, nil, out)
+}
+
+func (w *worker) doDelete(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
+	l, ok := w.lookup(c, r.Key)
+	if !ok {
+		w.respond(c, r, kv.Result{})
+		return
+	}
+	w.indexDelete(c, r.Key)
+	sl := w.slabs[l.class()]
+	slot := l.slot()
+	chainTo, chained := sl.Free.Push(slot)
+	if !chained {
+		chainTo = freelist.NoSlot
+	}
+	sl.Live--
+	ts := w.nextTS()
+	done := func(c env.Ctx, out *[]*aio.IO) { w.respond(c, r, kv.Result{Found: true}) }
+	if sl.MultiPage() {
+		data := make([]byte, device.PageSize)
+		sl.EncodeTombstone(data, ts, chainTo)
+		w.cache.Remove(sl.SlotPage(slot))
+		w.writePage(sl.SlotPage(slot), data, done, out)
+		return
+	}
+	page, off := sl.SlotPage(slot), sl.SlotOffset(slot)
+	w.applyToPage(c, page, func(c env.Ctx, data []byte) {
+		sl.EncodeTombstone(data[off:off+sl.Stride], ts, chainTo)
+	}, done, out)
+}
+
+// withCommitLog wraps done so it additionally waits for a sequential
+// commit-log append (the §4.4 ablation: what KVell's design avoids).
+func (w *worker) withCommitLog(c env.Ctx, recBytes int, done func(c env.Ctx, out *[]*aio.IO), out *[]*aio.IO) func(c env.Ctx, out *[]*aio.IO) {
+	c.CPU(costs.WALBytes(recBytes))
+	remaining := 2
+	wrapped := func(c env.Ctx, out *[]*aio.IO) {
+		remaining--
+		if remaining == 0 {
+			done(c, out)
+		}
+	}
+	page := w.logBase + w.logCursor%w.logPages
+	w.logCursor++
+	buf := make([]byte, device.PageSize)
+	w.writePage(page, buf, wrapped, out)
+	return wrapped
+}

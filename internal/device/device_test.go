@@ -1,0 +1,343 @@
+package device
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"kvell/internal/env"
+	"kvell/internal/sim"
+	"kvell/internal/stats"
+)
+
+func TestMemStoreRoundtrip(t *testing.T) {
+	m := NewMemStore()
+	buf := make([]byte, 2*PageSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := m.WritePages(7, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2*PageSize)
+	if err := m.ReadPages(7, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, got) {
+		t.Fatal("roundtrip mismatch")
+	}
+	// Unwritten pages read as zeros.
+	zero := make([]byte, PageSize)
+	if err := m.ReadPages(100, got[:PageSize]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:PageSize], zero) {
+		t.Fatal("unwritten page not zero")
+	}
+	m.Free(7, 2)
+	if m.Pages() != 0 {
+		t.Fatalf("pages after free = %d", m.Pages())
+	}
+}
+
+func TestMemStoreRoundtripProperty(t *testing.T) {
+	m := NewMemStore()
+	f := func(page uint16, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		buf := make([]byte, PageSize)
+		r.Read(buf)
+		if err := m.WritePages(int64(page), buf); err != nil {
+			return false
+		}
+		got := make([]byte, PageSize)
+		if err := m.ReadPages(int64(page), got); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileStoreRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.dat")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = byte(i * 3)
+	}
+	if err := s.WritePages(5, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := s.ReadPages(5, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, got) {
+		t.Fatal("roundtrip mismatch")
+	}
+	// Read past EOF zero-fills.
+	if err := s.ReadPages(1000, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("EOF read not zero-filled")
+		}
+	}
+	if n, err := s.Size(); err != nil || n != 6 {
+		t.Fatalf("size = %d pages (err %v), want 6", n, err)
+	}
+}
+
+// driveClosedLoop keeps qd requests outstanding against d for the given
+// horizon and returns ops completed. Pages are chosen by pick.
+func driveClosedLoop(t *testing.T, s *sim.Sim, d *SimDisk, op Op, qd int, horizon env.Time, pick func(i int64) int64) int64 {
+	t.Helper()
+	var completed, issued int64
+	buf := make([]byte, PageSize)
+	var submit func()
+	submit = func() {
+		i := issued
+		issued++
+		d.Submit(&Request{
+			Op:   op,
+			Page: pick(i),
+			Buf:  buf,
+			Done: func() {
+				completed++
+				if s.Now() < horizon {
+					submit()
+				}
+			},
+		})
+	}
+	s.Go("gen", func(p *sim.Proc) {
+		for i := 0; i < qd; i++ {
+			submit()
+		}
+	})
+	if err := s.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	return completed
+}
+
+func TestSimDiskOptaneCalibration(t *testing.T) {
+	// Table 1: Config-Optane sustains ~550K random-write IOPS; Table 2:
+	// QD1 latency 11us.
+	s := sim.New(1)
+	d := NewSimDisk(s, Optane(), NullStore{})
+	d.prof.SpikeEvery = 0 // isolate the queueing model
+	r := rand.New(rand.NewSource(2))
+	got := driveClosedLoop(t, s, d, Write, 64, env.Second, func(i int64) int64 { return r.Int63n(1 << 30) })
+	if got < 500_000 || got > 600_000 {
+		t.Fatalf("Optane QD64 write IOPS = %d, want ~545K", got)
+	}
+
+	// QD1: one request at a time completes in exactly WriteSvc.
+	s2 := sim.New(1)
+	d2 := NewSimDisk(s2, Optane(), NullStore{})
+	d2.prof.SpikeEvery = 0
+	r2 := rand.New(rand.NewSource(3))
+	got2 := driveClosedLoop(t, s2, d2, Write, 1, env.Second, func(i int64) int64 { return r2.Int63n(1 << 30) })
+	if got2 < 85_000 || got2 > 95_000 {
+		t.Fatalf("Optane QD1 write IOPS = %d, want ~91K (11us latency)", got2)
+	}
+}
+
+func TestSimDiskQueueDepthLatency(t *testing.T) {
+	// Table 2 shape: latency grows with queue depth while bandwidth
+	// saturates.
+	var lastLat env.Time
+	var lastIOPS int64
+	for _, qd := range []int{1, 16, 64, 256} {
+		s := sim.New(1)
+		prof := Optane()
+		prof.SpikeEvery = 0
+		d := NewSimDisk(s, prof, NullStore{})
+		d.LatHist = newHist()
+		r := rand.New(rand.NewSource(4))
+		iops := driveClosedLoop(t, s, d, Write, qd, env.Second/4, func(i int64) int64 { return r.Int63n(1 << 30) })
+		lat := d.LatHist.Mean()
+		if lat < lastLat {
+			t.Fatalf("QD %d latency %d < previous %d; latency must grow with depth", qd, lat, lastLat)
+		}
+		if iops+1000 < lastIOPS && qd <= 64 {
+			t.Fatalf("QD %d IOPS %d dropped below previous %d", qd, iops, lastIOPS)
+		}
+		lastLat, lastIOPS = lat, iops
+	}
+	// At QD256 mean latency should be in the several-hundred-us range
+	// (Table 2 reports 550us for Config-Optane).
+	if lastLat < 300*env.Microsecond || lastLat > 900*env.Microsecond {
+		t.Fatalf("QD256 mean latency = %s, want ~550us", fmtNs(lastLat))
+	}
+}
+
+func TestSimDiskSequentialFasterOnOldSSD(t *testing.T) {
+	seqIOPS := func(seq bool) int64 {
+		s := sim.New(1)
+		prof := SSD2013(1 << 40) // effectively unlimited burst
+		prof.SpikeEvery = 0
+		d := NewSimDisk(s, prof, NullStore{})
+		r := rand.New(rand.NewSource(5))
+		pick := func(i int64) int64 { return i } // sequential
+		if !seq {
+			pick = func(i int64) int64 { return r.Int63n(1 << 30) }
+		}
+		return driveClosedLoop(t, s, d, Write, 32, env.Second/4, pick)
+	}
+	sq, rd := seqIOPS(true), seqIOPS(false)
+	if sq < rd*3/2 {
+		t.Fatalf("sequential writes (%d) should be much faster than random (%d) on Config-SSD", sq, rd)
+	}
+}
+
+func TestSimDiskBurstExhaustion(t *testing.T) {
+	// Figure 1: the old SSD serves a burst of random writes fast, then
+	// degrades to ~11K IOPS.
+	s := sim.New(1)
+	prof := SSD2013(20_000) // small budget so the transition happens quickly
+	prof.SpikeEvery = 0
+	d := NewSimDisk(s, prof, NullStore{})
+	r := rand.New(rand.NewSource(6))
+	first := driveClosedLoop(t, s, d, Write, 32, env.Second/2, func(i int64) int64 { return r.Int63n(1 << 30) })
+	if !d.degraded {
+		t.Fatal("device should be degraded after exceeding burst budget")
+	}
+	// Continue for another interval: should be ~11K IOPS.
+	before := d.Counters().WriteOps
+	_ = first
+	var completed int64
+	buf := make([]byte, PageSize)
+	var submit func()
+	submit = func() {
+		d.Submit(&Request{Op: Write, Page: r.Int63n(1 << 30), Buf: buf, Done: func() {
+			completed++
+			if s.Now() < env.Second+env.Second/2 {
+				submit()
+			}
+		}})
+	}
+	s.Go("gen2", func(p *sim.Proc) {
+		for i := 0; i < 32; i++ {
+			submit()
+		}
+	})
+	if err := s.Run(env.Second + env.Second/2); err != nil {
+		t.Fatal(err)
+	}
+	degRate := d.Counters().WriteOps - before
+	if degRate < 8_000 || degRate > 14_000 {
+		t.Fatalf("degraded write IOPS = %d over 1s, want ~11K", degRate)
+	}
+}
+
+func TestSimDiskSpikesRaiseMaxLatency(t *testing.T) {
+	// Figure 2: maintenance spikes produce max latencies far above p99.
+	s := sim.New(7)
+	prof := AmazonNVMe()
+	prof.SpikeEvery = 100 * env.Millisecond // frequent, to observe quickly
+	prof.SpikeJitter = 20 * env.Millisecond
+	d := NewSimDisk(s, prof, NullStore{})
+	d.LatHist = newHist()
+	r := rand.New(rand.NewSource(8))
+	driveClosedLoop(t, s, d, Write, 64, env.Second, func(i int64) int64 { return r.Int63n(1 << 30) })
+	p99, max := d.LatHist.Percentile(0.99), d.LatHist.Max()
+	if max < 2*p99 || max < 3*env.Millisecond {
+		t.Fatalf("max latency %s should spike well above p99 %s", fmtNs(max), fmtNs(p99))
+	}
+}
+
+func TestSimDiskReadsDataWrittenEarlier(t *testing.T) {
+	s := sim.New(1)
+	d := NewSimDisk(s, Optane(), nil)
+	want := make([]byte, PageSize)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	got := make([]byte, PageSize)
+	var readDone bool
+	s.Go("io", func(p *sim.Proc) {
+		d.Submit(&Request{Op: Write, Page: 3, Buf: want, Done: func() {}})
+		p.Sleep(env.Millisecond)
+		d.Submit(&Request{Op: Read, Page: 3, Buf: got, Done: func() { readDone = true }})
+	})
+	if err := s.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if !readDone || !bytes.Equal(want, got) {
+		t.Fatal("read did not observe written data")
+	}
+	c := d.Counters()
+	if c.ReadOps != 1 || c.WriteOps != 1 || c.WriteBytes != PageSize {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestRealDiskRoundtrip(t *testing.T) {
+	d := NewRealDisk(NewMemStore(), 2, false)
+	defer d.Close()
+	var wg sync.WaitGroup
+	want := make([]byte, PageSize)
+	for i := range want {
+		want[i] = byte(i)
+	}
+	wg.Add(1)
+	d.Submit(&Request{Op: Write, Page: 1, Buf: want, Done: wg.Done})
+	wg.Wait()
+	got := make([]byte, PageSize)
+	wg.Add(1)
+	d.Submit(&Request{Op: Read, Page: 1, Buf: got, Done: wg.Done})
+	wg.Wait()
+	if !bytes.Equal(want, got) {
+		t.Fatal("roundtrip mismatch")
+	}
+	if c := d.Counters(); c.ReadOps != 1 || c.WriteOps != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestAllocatorReuse(t *testing.T) {
+	a := NewAllocator(10)
+	p1 := a.Alloc(4)
+	p2 := a.Alloc(4)
+	if p1 != 10 || p2 != 14 {
+		t.Fatalf("allocs = %d, %d", p1, p2)
+	}
+	a.Free(p1, 4)
+	if p3 := a.Alloc(4); p3 != p1 {
+		t.Fatalf("expected reuse of %d, got %d", p1, p3)
+	}
+	if p4 := a.Alloc(2); p4 != 18 {
+		t.Fatalf("different size class should not reuse: got %d", p4)
+	}
+}
+
+func TestProfileIOPSMath(t *testing.T) {
+	o := Optane()
+	if iops := o.MaxWriteIOPS(); iops < 500_000 || iops > 600_000 {
+		t.Fatalf("Optane max write IOPS = %f", iops)
+	}
+	a := AmazonNVMe()
+	if iops := a.MaxWriteIOPS(); iops < 160_000 || iops > 200_000 {
+		t.Fatalf("Amazon max write IOPS = %f", iops)
+	}
+	ssd := SSD2013(0)
+	if iops := ssd.MaxReadIOPS(); iops < 70_000 || iops > 80_000 {
+		t.Fatalf("SSD max read IOPS = %f", iops)
+	}
+}
+
+func newHist() *stats.Hist { return stats.NewHist() }
+
+func fmtNs(d env.Time) string { return stats.FmtDur(d) }

@@ -1,0 +1,548 @@
+package betree
+
+import (
+	"bytes"
+	"sort"
+
+	"kvell/internal/costs"
+	"kvell/internal/device"
+	"kvell/internal/env"
+	"kvell/internal/kv"
+)
+
+// Submit implements kv.Engine (library model).
+func (d *DB) Submit(c env.Ctx, r *kv.Request) {
+	switch r.Op {
+	case kv.OpGet:
+		v, ok := d.Get(c, r.Key)
+		r.Done(kv.Result{Found: ok, Value: v})
+	case kv.OpUpdate:
+		d.Put(c, r.Key, r.Value)
+		r.Done(kv.Result{Found: true})
+	case kv.OpDelete:
+		d.Delete(c, r.Key)
+		r.Done(kv.Result{Found: true})
+	case kv.OpRMW:
+		_, _ = d.Get(c, r.Key)
+		d.Put(c, r.Key, r.Value)
+		r.Done(kv.Result{Found: true})
+	case kv.OpScan:
+		items := d.Scan(c, r.Key, r.ScanCount)
+		r.Done(kv.Result{Found: len(items) > 0, ScanN: len(items)})
+	}
+}
+
+// logAppend is a buffered group commit (1MB buffer, like the configured
+// baselines; TokuMX's bottleneck is elsewhere).
+func (d *DB) logAppend(c env.Ctx, recBytes int) {
+	c.CPU(costs.WALBytes(recBytes))
+	d.logMu.Lock(c)
+	d.logBuf += int64(recBytes)
+	var pages int64
+	if d.logBuf >= d.cfg.WALBufferBytes {
+		pages = (d.logBuf + device.PageSize - 1) / device.PageSize
+		d.logBuf = 0
+	}
+	d.logMu.Unlock(c)
+	if pages > 0 {
+		buf := make([]byte, pages*device.PageSize)
+		page := d.logPage % (1 << 20)
+		d.logPage += pages
+		d.writeSync(c, page, buf)
+	}
+}
+
+// Put buffers the write at the root; full buffers cascade down (§3.1:
+// ">20% of its time moving data from buffers to their correct location").
+func (d *DB) Put(c env.Ctx, key, value []byte) {
+	d.write(c, key, value, false)
+}
+
+// Delete buffers a delete message.
+func (d *DB) Delete(c env.Ctx, key []byte) {
+	d.write(c, key, nil, true)
+}
+
+func (d *DB) write(c env.Ctx, key, value []byte, del bool) {
+	d.logAppend(c, entryBytes(len(key), len(value)))
+	// Lock and atomic traffic on shared pages (§3.1: up to 30% of TokuMX
+	// time in locks or atomic operations).
+	c.CPU(costs.LockUncontended * 12)
+	d.treeMu.Lock(c)
+	d.stats.Puts++
+	d.seq++
+	m := msg{key: append([]byte(nil), key...), seq: d.seq, del: del}
+	if !del {
+		m.value = append([]byte(nil), value...)
+	}
+	c.CPU(costs.MemBytes(msgBytes(&m)) + costs.BTreeNode*2)
+	d.rootBytes += upsertMsg(&d.rootMsgs, m)
+	if d.rootBytes >= d.cfg.RootBufferBytes {
+		d.flushRoot(c)
+	}
+	d.treeMu.Unlock(c)
+	d.maybeStall(c)
+}
+
+// maybeStall blocks the writer while dirty data exceeds the stall
+// threshold (eviction/checkpoint pressure).
+func (d *DB) maybeStall(c env.Ctx) {
+	limit := int64(float64(d.cfg.CacheBytes) * d.cfg.DirtyStallFrac)
+	d.stallMu.Lock(c)
+	if d.dirtyB > limit/2 {
+		d.stallCond.Broadcast(c) // wake the eviction thread early
+	}
+	for d.dirtyB > limit && !d.closing {
+		d.stats.WriteStalls++
+		t0 := c.Now()
+		d.stallCond.Wait(c)
+		d.stats.StallTime += c.Now() - t0
+	}
+	d.stallMu.Unlock(c)
+}
+
+// evictLoop continuously writes dirty leaves once the dirty fraction
+// passes half the stall threshold, keeping writers unblocked when it can
+// keep up (and producing the §3.2 stalls when it cannot).
+func (d *DB) evictLoop(c env.Ctx) {
+	trigger := int64(float64(d.cfg.CacheBytes) * d.cfg.DirtyStallFrac / 2)
+	for {
+		d.stallMu.Lock(c)
+		for d.dirtyB <= trigger && !d.closing {
+			d.stallCond.Wait(c)
+		}
+		closing := d.closing
+		d.stallMu.Unlock(c)
+		if closing {
+			return
+		}
+		d.treeMu.Lock(c)
+		var victim *leaf
+		for _, l := range d.lru {
+			if l.dirty && l.ents != nil {
+				victim = l
+				break
+			}
+		}
+		if victim == nil {
+			d.treeMu.Unlock(c)
+			continue
+		}
+		c.CPU(costs.PageReconcile)
+		buf := serializeLeaf(victim)
+		page := victim.page
+		victim.dirty = false
+		d.dirtyB -= int64(victim.bytes)
+		d.treeMu.Unlock(c)
+		d.writeSync(c, page, buf)
+		d.stats.EvictedLeaves++
+		d.stallCond.Broadcast(c)
+	}
+}
+
+// flushRoot partitions the root buffer into the group buffers (treeMu
+// held). Groups that overflow cascade into their leaves.
+func (d *DB) flushRoot(c env.Ctx) {
+	d.stats.RootFlushes++
+	moved := 0
+	var overflow []*group
+	for _, m := range d.rootMsgs {
+		g := d.groups[d.findGroup(m.key)]
+		g.bytes += upsertMsg(&g.msgs, m)
+		moved += msgBytes(&m)
+	}
+	d.stats.BufferMovedBytes += int64(moved)
+	c.CPU(costs.BufferMoveBytes(moved))
+	d.rootMsgs = d.rootMsgs[:0]
+	d.rootBytes = 0
+	for _, g := range d.groups {
+		if g.bytes >= d.cfg.GroupBufferBytes {
+			overflow = append(overflow, g)
+		}
+	}
+	for _, g := range overflow {
+		d.flushGroup(c, g)
+	}
+}
+
+// flushGroup applies a group's messages to the leaves, holding the tree
+// spin lock across any leaf reads (the paper's lock contention source).
+func (d *DB) flushGroup(c env.Ctx, g *group) {
+	d.stats.GroupFlushes++
+	moved := 0
+	var minLeaf, maxLeaf int = 1 << 30, -1
+	for _, m := range g.msgs {
+		moved += msgBytes(&m)
+		li := d.findLeaf(c, m.key)
+		if li < minLeaf {
+			minLeaf = li
+		}
+		if li > maxLeaf {
+			maxLeaf = li
+		}
+		l := d.leaves[li]
+		d.loadLeafLocked(c, l)
+		d.applyToLeaf(c, l, &m)
+	}
+	d.stats.BufferMovedBytes += int64(moved)
+	c.CPU(costs.BufferMoveBytes(moved))
+	g.msgs = g.msgs[:0]
+	g.bytes = 0
+	// Split the group when its span has grown too wide.
+	if maxLeaf >= minLeaf && maxLeaf-minLeaf+1 > d.cfg.SplitSpan {
+		d.splitGroup(g)
+	}
+}
+
+func (d *DB) splitGroup(g *group) {
+	gi := -1
+	for i, gg := range d.groups {
+		if gg == g {
+			gi = i
+			break
+		}
+	}
+	if gi < 0 {
+		return
+	}
+	// Find the middle leaf within g's range.
+	lo := 0
+	if g.firstKey != nil {
+		lo = sort.Search(len(d.leaves), func(i int) bool {
+			return bytes.Compare(d.leaves[i].firstKey, g.firstKey) >= 0
+		})
+	}
+	hi := len(d.leaves)
+	if gi+1 < len(d.groups) {
+		hi = sort.Search(len(d.leaves), func(i int) bool {
+			return bytes.Compare(d.leaves[i].firstKey, d.groups[gi+1].firstKey) >= 0
+		})
+	}
+	mid := (lo + hi) / 2
+	if mid <= lo || mid >= hi || d.leaves[mid].firstKey == nil {
+		return
+	}
+	ng := &group{firstKey: append([]byte(nil), d.leaves[mid].firstKey...)}
+	// Move messages >= boundary (none right after a flush, but be safe).
+	split := sort.Search(len(g.msgs), func(i int) bool {
+		return bytes.Compare(g.msgs[i].key, ng.firstKey) >= 0
+	})
+	ng.msgs = append(ng.msgs, g.msgs[split:]...)
+	for i := range ng.msgs {
+		ng.bytes += msgBytes(&ng.msgs[i])
+	}
+	g.msgs = g.msgs[:split]
+	g.bytes -= ng.bytes
+	d.groups = append(d.groups, nil)
+	copy(d.groups[gi+2:], d.groups[gi+1:])
+	d.groups[gi+1] = ng
+}
+
+// applyToLeaf installs one message into a resident leaf (treeMu held).
+func (d *DB) applyToLeaf(c env.Ctx, l *leaf, m *msg) {
+	i := sort.Search(len(l.ents), func(i int) bool {
+		return bytes.Compare(l.ents[i].key, m.key) >= 0
+	})
+	exists := i < len(l.ents) && bytes.Equal(l.ents[i].key, m.key)
+	d.markDirty(l)
+	switch {
+	case m.del && exists:
+		d.adjustLeafBytes(l, -entryBytes(len(l.ents[i].key), len(l.ents[i].value)))
+		l.ents = append(l.ents[:i], l.ents[i+1:]...)
+	case m.del:
+		// delete of absent key: nothing
+	case exists:
+		d.adjustLeafBytes(l, len(m.value)-len(l.ents[i].value))
+		l.ents[i].value = m.value
+	default:
+		l.ents = append(l.ents, entry{})
+		copy(l.ents[i+1:], l.ents[i:])
+		l.ents[i] = entry{key: m.key, value: m.value}
+		d.adjustLeafBytes(l, entryBytes(len(m.key), len(m.value)))
+	}
+	c.CPU(costs.MemBytes(entryBytes(len(m.key), len(m.value))))
+	if l.bytes+4 > d.cfg.LeafBytes && len(l.ents) > 1 {
+		d.splitLeaf(l)
+	}
+	d.resizeLeafPages(l)
+}
+
+func (d *DB) splitLeaf(l *leaf) {
+	mid := len(l.ents) / 2
+	right := &leaf{
+		firstKey: append([]byte(nil), l.ents[mid].key...),
+		ents:     append([]entry(nil), l.ents[mid:]...),
+		dirty:    true,
+		lruIdx:   -1,
+	}
+	for _, e := range right.ents {
+		right.bytes += entryBytes(len(e.key), len(e.value))
+	}
+	l.ents = l.ents[:mid:mid]
+	l.bytes -= right.bytes
+	right.pages = (int64(right.bytes) + 4 + device.PageSize - 1) / device.PageSize
+	right.page = d.alloc.Alloc(right.pages)
+	i := sort.Search(len(d.leaves), func(i int) bool {
+		return bytes.Compare(d.leaves[i].firstKey, right.firstKey) > 0
+	})
+	d.leaves = append(d.leaves, nil)
+	copy(d.leaves[i+1:], d.leaves[i:])
+	d.leaves[i] = right
+	d.touch(right)
+}
+
+func (d *DB) resizeLeafPages(l *leaf) {
+	need := (int64(l.bytes) + 4 + device.PageSize - 1) / device.PageSize
+	if need <= l.pages {
+		return
+	}
+	d.alloc.Free(l.page, l.pages)
+	l.pages = need
+	l.page = d.alloc.Alloc(need)
+}
+
+// Get consults the buffers along the "path" (root, then group), then the
+// leaf; an ancestor message is always newer than anything below it.
+func (d *DB) Get(c env.Ctx, key []byte) ([]byte, bool) {
+	c.CPU(costs.LockUncontended)
+	d.treeMu.Lock(c)
+	d.stats.Gets++
+	c.CPU(costs.BTreeNode * 3)
+	if m, ok := findMsg(d.rootMsgs, key); ok {
+		d.treeMu.Unlock(c)
+		return msgValue(m)
+	}
+	g := d.groups[d.findGroup(key)]
+	if m, ok := findMsg(g.msgs, key); ok {
+		d.treeMu.Unlock(c)
+		return msgValue(m)
+	}
+	var l *leaf
+	for {
+		l = d.leaves[d.findLeaf(c, key)]
+		if l.ents != nil {
+			d.stats.CacheHits++
+			d.touch(l)
+			break
+		}
+		// Release the lock for read I/O on the Get path (TokuMX reads do
+		// not hold the flush locks), then re-descend.
+		d.stats.CacheMisses++
+		page, pages := l.page, l.pages
+		d.treeMu.Unlock(c)
+		buf := make([]byte, pages*device.PageSize)
+		d.readSync(c, page, buf)
+		ents, total := deserializeLeaf(buf)
+		c.CPU(costs.MemBytes(total))
+		d.treeMu.Lock(c)
+		if l.ents == nil && l.page == page {
+			l.ents = ents
+			l.bytes = total
+			d.cachedB += int64(total)
+			d.touch(l)
+			d.evictCleanOverBudget(l)
+		}
+	}
+	i := sort.Search(len(l.ents), func(i int) bool {
+		return bytes.Compare(l.ents[i].key, key) >= 0
+	})
+	var val []byte
+	found := false
+	if i < len(l.ents) && bytes.Equal(l.ents[i].key, key) {
+		val = append([]byte(nil), l.ents[i].value...)
+		found = true
+		c.CPU(costs.MemBytes(len(val)))
+	}
+	d.treeMu.Unlock(c)
+	return val, found
+}
+
+func msgValue(m msg) ([]byte, bool) {
+	if m.del {
+		return nil, false
+	}
+	return append([]byte(nil), m.value...), true
+}
+
+// Scan merges buffered messages with leaf entries for the range.
+func (d *DB) Scan(c env.Ctx, start []byte, count int) []kv.Item {
+	c.CPU(costs.LockUncontended)
+	d.treeMu.Lock(c)
+	d.stats.Scans++
+
+	// Collect candidate messages >= start (root + all groups from the
+	// containing one on).
+	pending := map[string]msg{}
+	addMsgs := func(msgs []msg) {
+		i := sort.Search(len(msgs), func(i int) bool {
+			return bytes.Compare(msgs[i].key, start) >= 0
+		})
+		for ; i < len(msgs); i++ {
+			m := msgs[i]
+			if prev, ok := pending[string(m.key)]; !ok || m.seq > prev.seq {
+				pending[string(m.key)] = m
+			}
+			c.CPU(costs.IterStep)
+		}
+	}
+	addMsgs(d.rootMsgs)
+	for gi := d.findGroup(start); gi < len(d.groups); gi++ {
+		addMsgs(d.groups[gi].msgs)
+	}
+
+	var out []kv.Item
+	emit := func(key, value []byte) {
+		out = append(out, kv.Item{
+			Key:   append([]byte(nil), key...),
+			Value: append([]byte(nil), value...),
+		})
+	}
+	// Sorted pending keys for merge.
+	pkeys := make([]string, 0, len(pending))
+	for k := range pending {
+		pkeys = append(pkeys, k)
+	}
+	sort.Strings(pkeys)
+	pi := 0
+
+	li := d.findLeaf(c, start)
+	var lastKey []byte
+	for li < len(d.leaves) && len(out) < count {
+		l := d.leaves[li]
+		d.loadLeafLocked(c, l)
+		for _, e := range l.ents {
+			if bytes.Compare(e.key, start) < 0 {
+				continue
+			}
+			if lastKey != nil && bytes.Compare(e.key, lastKey) <= 0 {
+				continue
+			}
+			// Emit pending message keys that sort before this entry.
+			for pi < len(pkeys) && pkeys[pi] < string(e.key) && len(out) < count {
+				m := pending[pkeys[pi]]
+				pi++
+				if !m.del {
+					emit(m.key, m.value)
+				}
+			}
+			if len(out) >= count {
+				break
+			}
+			c.CPU(costs.IterStep)
+			if pi < len(pkeys) && pkeys[pi] == string(e.key) {
+				m := pending[pkeys[pi]]
+				pi++
+				if !m.del {
+					emit(m.key, m.value)
+				}
+			} else {
+				emit(e.key, e.value)
+			}
+			lastKey = append(lastKey[:0], e.key...)
+			if len(out) >= count {
+				break
+			}
+		}
+		li++
+	}
+	// Trailing pending keys past the last leaf entry.
+	for pi < len(pkeys) && len(out) < count {
+		m := pending[pkeys[pi]]
+		pi++
+		if lastKey != nil && string(m.key) <= string(lastKey) {
+			continue
+		}
+		if !m.del {
+			emit(m.key, m.value)
+		}
+	}
+	d.treeMu.Unlock(c)
+	return out
+}
+
+// BulkLoad builds full leaves directly and sizes the group table.
+func (d *DB) BulkLoad(items []kv.Item) error {
+	budget := d.cfg.LeafBytes * 9 / 10
+	var leaves []*leaf
+	cur := &leaf{ents: []entry{}, lruIdx: -1}
+	flush := func() {
+		if len(cur.ents) == 0 {
+			return
+		}
+		cur.pages = (int64(cur.bytes) + 4 + device.PageSize - 1) / device.PageSize
+		cur.page = d.alloc.Alloc(cur.pages)
+		if err := storeOf(d.disk).WritePages(cur.page, serializeLeaf(cur)); err != nil {
+			panic(err)
+		}
+		cur.ents = nil
+		leaves = append(leaves, cur)
+		cur = &leaf{ents: []entry{}, lruIdx: -1}
+	}
+	for _, it := range items {
+		n := entryBytes(len(it.Key), len(it.Value))
+		if cur.bytes+n+4 > budget && len(cur.ents) > 0 {
+			flush()
+		}
+		if len(cur.ents) == 0 {
+			cur.firstKey = append([]byte(nil), it.Key...)
+		}
+		cur.ents = append(cur.ents, entry{key: it.Key, value: it.Value})
+		cur.bytes += n
+	}
+	flush()
+	if len(leaves) == 0 {
+		return nil
+	}
+	leaves[0].firstKey = nil
+	d.leaves = leaves
+	d.lru = nil
+	d.cachedB, d.dirtyB = 0, 0
+	// Groups: one per SplitSpan/2 leaves.
+	d.groups = d.groups[:0]
+	step := d.cfg.SplitSpan / 2
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(leaves); i += step {
+		g := &group{}
+		if i > 0 {
+			g.firstKey = append([]byte(nil), leaves[i].firstKey...)
+		}
+		d.groups = append(d.groups, g)
+	}
+	return nil
+}
+
+// checkpointLoop periodically writes dirty leaves and wakes stalled
+// writers.
+func (d *DB) checkpointLoop(c env.Ctx) {
+	for {
+		c.Sleep(d.cfg.CheckpointEvery)
+		d.treeMu.Lock(c)
+		if d.closing {
+			d.treeMu.Unlock(c)
+			return
+		}
+		// Collect dirty leaves, then write them without the tree lock.
+		type job struct {
+			l    *leaf
+			page int64
+			buf  []byte
+		}
+		var jobs []job
+		for _, l := range d.lru {
+			if l.dirty && l.ents != nil {
+				c.CPU(costs.PageReconcile)
+				jobs = append(jobs, job{l: l, page: l.page, buf: serializeLeaf(l)})
+				l.dirty = false
+				d.dirtyB -= int64(l.bytes)
+			}
+		}
+		d.treeMu.Unlock(c)
+		for _, j := range jobs {
+			d.writeSync(c, j.page, j.buf)
+			d.stats.EvictedLeaves++
+		}
+		d.stallCond.Broadcast(c)
+	}
+}

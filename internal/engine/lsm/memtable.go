@@ -1,0 +1,67 @@
+package lsm
+
+import (
+	"kvell/internal/btree"
+	"kvell/internal/costs"
+	"kvell/internal/env"
+)
+
+// memtable is the in-memory write buffer. The paper's LSM baselines use a
+// skiplist; we reuse the B-tree with equivalent O(log n) node-visit costs
+// charged at the SkiplistNode rate.
+type memtable struct {
+	tree  *btree.Tree
+	ents  []entry
+	bytes int64
+}
+
+func newMemtable() *memtable {
+	return &memtable{tree: btree.New()}
+}
+
+// lookupCost is the CPU charge for one memtable descent.
+func (m *memtable) lookupCost() env.Time {
+	return env.Time(m.tree.Depth()*2) * costs.SkiplistNode
+}
+
+// put inserts or replaces an entry (replacement keeps the newest seq).
+func (m *memtable) put(e entry) {
+	if idx, ok := m.tree.Get(e.key); ok {
+		old := &m.ents[idx]
+		m.bytes += int64(len(e.value)) - int64(len(old.value))
+		*old = e
+		return
+	}
+	m.ents = append(m.ents, e)
+	m.tree.Put(e.key, uint64(len(m.ents)-1))
+	m.bytes += int64(e.bytes())
+}
+
+// get returns the entry for key.
+func (m *memtable) get(key []byte) (entry, bool) {
+	idx, ok := m.tree.Get(key)
+	if !ok {
+		return entry{}, false
+	}
+	return m.ents[idx], true
+}
+
+// firstN returns up to n entries with key >= start, in order.
+func (m *memtable) firstN(start []byte, n int) []entry {
+	var out []entry
+	m.tree.AscendFrom(start, func(k []byte, idx uint64) bool {
+		out = append(out, m.ents[idx])
+		return len(out) < n
+	})
+	return out
+}
+
+// each visits all entries in key order.
+func (m *memtable) each(fn func(e entry)) {
+	m.tree.AscendFrom(nil, func(k []byte, idx uint64) bool {
+		fn(m.ents[idx])
+		return true
+	})
+}
+
+func (m *memtable) len() int { return m.tree.Len() }

@@ -1,0 +1,141 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"kvell/internal/costs"
+	"kvell/internal/device"
+	"kvell/internal/env"
+)
+
+// The write-ahead log is a sequence of page-aligned chunks in the reserved
+// region at the start of disk 0. Each chunk is:
+//
+//	magic (4B) | payload length (4B) | records...
+//
+// and each record is:
+//
+//	klen (2B) | vlen (4B) | seq (8B) | tombstone (1B) | key | value
+//
+// Replay scans chunks from page 0 until the magic stops matching — exactly
+// what a crashed RocksDB does with its log files.
+const (
+	walMagic      = 0x4B56574C // "KVWL"
+	walChunkHdr   = 8
+	walRegionPage = 0
+	walRegionSize = 1 << 20 // pages reserved in New()
+)
+
+// walAppend buffers a framed record (writeMu held). When the buffer
+// exceeds the configured WAL group size, it is written sequentially to the
+// log region while the write lock is held (the group leader behavior).
+func (d *DB) walAppend(c env.Ctx, key, value []byte, tombstone bool) {
+	rec := entryHeader + len(key) + len(value)
+	c.CPU(costs.WALBytes(rec))
+	var hdr [15]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], uint16(len(key)))
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(len(value)))
+	binary.LittleEndian.PutUint64(hdr[6:14], d.seq)
+	if tombstone {
+		hdr[14] = 1
+	}
+	d.walRecs = append(d.walRecs, hdr[:]...)
+	d.walRecs = append(d.walRecs, key...)
+	d.walRecs = append(d.walRecs, value...)
+	if int64(len(d.walRecs)) >= d.cfg.WALBufferBytes {
+		d.walFlush(c)
+	}
+}
+
+// walFlush writes the buffered records as one chunk (writeMu held).
+func (d *DB) walFlush(c env.Ctx) {
+	if len(d.walRecs) == 0 {
+		return
+	}
+	payload := d.walRecs
+	pages := (int64(walChunkHdr+len(payload)) + device.PageSize - 1) / device.PageSize
+	buf := make([]byte, pages*device.PageSize)
+	binary.LittleEndian.PutUint32(buf[0:4], walMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	copy(buf[walChunkHdr:], payload)
+	page := walRegionPage + d.walPage%walRegionSize
+	d.walPage += pages
+	d.walRecs = d.walRecs[:0]
+	d.writePagesTimed(c, d.cfg.Disks[0], page, buf)
+}
+
+// ReplayWAL rebuilds the memtable from the log region, as crash recovery
+// does: chunks are read sequentially with large reads, records are decoded
+// and re-inserted (paying the same memtable costs as the write path), and
+// full memtables are flushed to L0. It returns the number of records
+// replayed. Call on a freshly opened DB before Start.
+func (d *DB) ReplayWAL(c env.Ctx) (int, error) {
+	disk := d.cfg.Disks[0]
+	const readChunk = 256 // pages per sequential read
+	var page int64 = walRegionPage
+	buf := make([]byte, readChunk*device.PageSize)
+	records := 0
+	for {
+		d.readPagesSync(c, disk, page, buf)
+		if binary.LittleEndian.Uint32(buf[0:4]) != walMagic {
+			break // end of log
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(buf[4:8]))
+		chunkPages := (int64(walChunkHdr+payloadLen) + device.PageSize - 1) / device.PageSize
+		payload := make([]byte, payloadLen)
+		if chunkPages <= readChunk {
+			copy(payload, buf[walChunkHdr:walChunkHdr+payloadLen])
+		} else {
+			big := make([]byte, chunkPages*device.PageSize)
+			d.readPagesSync(c, disk, page, big)
+			copy(payload, big[walChunkHdr:walChunkHdr+payloadLen])
+		}
+		off := 0
+		for off+entryHeader <= len(payload) {
+			klen := int(binary.LittleEndian.Uint16(payload[off : off+2]))
+			vlen := int(binary.LittleEndian.Uint32(payload[off+2 : off+6]))
+			if klen == 0 || off+entryHeader+klen+vlen > len(payload) {
+				return records, fmt.Errorf("lsm: corrupt WAL record at page %d off %d", page, off)
+			}
+			e := entry{
+				seq:       binary.LittleEndian.Uint64(payload[off+6 : off+14]),
+				tombstone: payload[off+14] == 1,
+				key:       append([]byte(nil), payload[off+entryHeader:off+entryHeader+klen]...),
+			}
+			if !e.tombstone {
+				e.value = append([]byte(nil), payload[off+entryHeader+klen:off+entryHeader+klen+vlen]...)
+			}
+			// Same costs as the live write path: descent plus copy.
+			c.CPU(d.mem.lookupCost() + costs.MemBytes(e.bytes()))
+			d.mem.put(e)
+			if e.seq > d.seq {
+				d.seq = e.seq
+			}
+			records++
+			off += entryHeader + klen + vlen
+			if d.mem.bytes >= d.cfg.MemtableBytes {
+				d.flushMemtableSync(c)
+			}
+		}
+		page += chunkPages
+	}
+	d.walPage = page - walRegionPage
+	return records, nil
+}
+
+// flushMemtableSync builds an L0 table from the current memtable inline
+// (used during replay, when background threads are not running).
+func (d *DB) flushMemtableSync(c env.Ctx) {
+	if d.mem.len() == 0 {
+		return
+	}
+	b := d.newBuilder(d.nextDisk())
+	d.mem.each(func(e entry) { b.add(&e) })
+	c.CPU(costs.MemBytes(int(d.mem.bytes)))
+	if t := b.finish(c); t != nil {
+		d.levels[0] = append(d.levels[0], t)
+	}
+	d.mem = newMemtable()
+	d.stats.Flushes++
+}

@@ -1,0 +1,388 @@
+package wtree
+
+import (
+	"bytes"
+	"sort"
+
+	"kvell/internal/costs"
+	"kvell/internal/device"
+	"kvell/internal/env"
+	"kvell/internal/kv"
+)
+
+// Submit implements kv.Engine (library model: operations run on the
+// calling thread).
+func (d *DB) Submit(c env.Ctx, r *kv.Request) {
+	switch r.Op {
+	case kv.OpGet:
+		v, ok := d.Get(c, r.Key)
+		r.Done(kv.Result{Found: ok, Value: v})
+	case kv.OpUpdate:
+		d.Put(c, r.Key, r.Value)
+		r.Done(kv.Result{Found: true})
+	case kv.OpDelete:
+		d.Delete(c, r.Key)
+		r.Done(kv.Result{Found: true})
+	case kv.OpRMW:
+		_, _ = d.Get(c, r.Key)
+		d.Put(c, r.Key, r.Value)
+		r.Done(kv.Result{Found: true})
+	case kv.OpScan:
+		items := d.Scan(c, r.Key, r.ScanCount)
+		r.Done(kv.Result{Found: len(items) > 0, ScanN: len(items)})
+	}
+}
+
+// logAppend models the slot-based group commit: the record joins the
+// active slot; when a slot write is in flight, the writer busy-waits for
+// it (__log_wait_for_earlier_slot), burning CPU. A full slot elects the
+// caller leader, who performs the sequential log write.
+func (d *DB) logAppend(c env.Ctx, recBytes int) {
+	c.CPU(costs.LogSlotJoin + costs.WALBytes(recBytes))
+	d.logMu.Lock(c)
+	for d.logWriting {
+		d.logMu.Unlock(c)
+		c.CPU(costs.LogSlotSpin) // sched_yield busy-wait
+		d.stats.LogSpinTime += costs.LogSlotSpin
+		d.logMu.Lock(c)
+	}
+	d.logBuf += int64(recBytes)
+	lead := false
+	var pages int64
+	if d.logBuf >= d.cfg.LogSlotBytes {
+		lead = true
+		d.logWriting = true
+		pages = (d.logBuf + device.PageSize - 1) / device.PageSize
+		d.logBuf = 0
+	}
+	d.logMu.Unlock(c)
+	if lead {
+		buf := make([]byte, pages*device.PageSize)
+		page := d.logPage % (1 << 20)
+		d.logPage += pages
+		d.writeSync(c, page, buf)
+		d.stats.LogSlotWrites++
+		d.logMu.Lock(c)
+		d.logWriting = false
+		d.logMu.Unlock(c)
+	}
+}
+
+// Put inserts or replaces a record.
+func (d *DB) Put(c env.Ctx, key, value []byte) {
+	d.logAppend(c, entryBytes(len(key), len(value)))
+
+	c.CPU(costs.LockUncontended)
+	d.mu.Lock(c)
+	d.stats.Puts++
+	var l *leaf
+	for {
+		l = d.leaves[d.findLeaf(c, key)]
+		if !d.loadLeaf(c, l) {
+			break // resident and lock still held
+		}
+		// The lock was dropped during I/O; the leaf may have split.
+	}
+
+	// Insert into the sorted entry slice.
+	i := sort.Search(len(l.ents), func(i int) bool {
+		return bytes.Compare(l.ents[i].key, key) >= 0
+	})
+	c.CPU(costs.MemBytes(len(key) + len(value)))
+	d.markDirty(l)
+	if i < len(l.ents) && bytes.Equal(l.ents[i].key, key) {
+		d.adjustLeafBytes(l, len(value)-len(l.ents[i].value))
+		l.ents[i].value = append([]byte(nil), value...)
+	} else {
+		e := entry{key: append([]byte(nil), key...), value: append([]byte(nil), value...)}
+		l.ents = append(l.ents, entry{})
+		copy(l.ents[i+1:], l.ents[i:])
+		l.ents[i] = e
+		d.adjustLeafBytes(l, entryBytes(len(key), len(value)))
+	}
+
+	// Split when the serialized leaf exceeds its page budget.
+	if l.bytes+4 > d.cfg.LeafBytes && len(l.ents) > 1 {
+		d.splitLeaf(l)
+	}
+	// Large single records get page runs sized to fit.
+	d.resizeLeafPages(l)
+
+	dirtyStall := int64(float64(d.cfg.CacheBytes) * d.cfg.DirtyStallFrac)
+	if d.dirtyB > int64(float64(d.cfg.CacheBytes)*d.cfg.DirtyTriggerFrac) {
+		d.cond.Broadcast(c) // wake the eviction thread
+	}
+	for d.dirtyB > dirtyStall && !d.closing {
+		// §3.2: user writes stall when eviction cannot keep up.
+		d.stats.WriteStalls++
+		t0 := c.Now()
+		d.cond.Wait(c)
+		d.stats.StallTime += c.Now() - t0
+	}
+	d.mu.Unlock(c)
+}
+
+// splitLeaf divides l (dirty, resident) in half, allocating a page run for
+// the new right leaf (mu held). Byte accounting: l's bytes were already
+// counted in cachedB/dirtyB; the halves together hold the same bytes, so
+// only the attribution moves.
+func (d *DB) splitLeaf(l *leaf) {
+	mid := len(l.ents) / 2
+	right := &leaf{
+		firstKey: append([]byte(nil), l.ents[mid].key...),
+		ents:     append([]entry(nil), l.ents[mid:]...),
+		dirty:    true,
+		lruIdx:   -1,
+	}
+	for _, e := range right.ents {
+		right.bytes += entryBytes(len(e.key), len(e.value))
+	}
+	l.ents = l.ents[:mid:mid]
+	l.bytes -= right.bytes
+	right.pages = (int64(right.bytes) + 4 + device.PageSize - 1) / device.PageSize
+	right.page = d.alloc.Alloc(right.pages)
+
+	// Insert into the sorted leaf table.
+	i := sort.Search(len(d.leaves), func(i int) bool {
+		return bytes.Compare(d.leaves[i].firstKey, right.firstKey) > 0
+	})
+	d.leaves = append(d.leaves, nil)
+	copy(d.leaves[i+1:], d.leaves[i:])
+	d.leaves[i] = right
+	d.touch(right)
+}
+
+// resizeLeafPages reallocates the leaf's page run if its serialized size
+// outgrew it (large values).
+func (d *DB) resizeLeafPages(l *leaf) {
+	need := (int64(l.bytes) + 4 + device.PageSize - 1) / device.PageSize
+	if need <= l.pages {
+		return
+	}
+	d.alloc.Free(l.page, l.pages)
+	l.pages = need
+	l.page = d.alloc.Alloc(need)
+}
+
+// Get returns the value for key.
+func (d *DB) Get(c env.Ctx, key []byte) ([]byte, bool) {
+	c.CPU(costs.LockUncontended)
+	d.mu.Lock(c)
+	d.stats.Gets++
+	var l *leaf
+	for {
+		l = d.leaves[d.findLeaf(c, key)]
+		if !d.loadLeaf(c, l) {
+			break
+		}
+	}
+	i := sort.Search(len(l.ents), func(i int) bool {
+		return bytes.Compare(l.ents[i].key, key) >= 0
+	})
+	var val []byte
+	found := false
+	if i < len(l.ents) && bytes.Equal(l.ents[i].key, key) {
+		val = append([]byte(nil), l.ents[i].value...)
+		found = true
+		c.CPU(costs.MemBytes(len(val)))
+	}
+	d.mu.Unlock(c)
+	return val, found
+}
+
+// Delete removes key if present.
+func (d *DB) Delete(c env.Ctx, key []byte) bool {
+	d.logAppend(c, entryBytes(len(key), 0))
+	c.CPU(costs.LockUncontended)
+	d.mu.Lock(c)
+	defer d.mu.Unlock(c)
+	var l *leaf
+	for {
+		l = d.leaves[d.findLeaf(c, key)]
+		if !d.loadLeaf(c, l) {
+			break
+		}
+	}
+	i := sort.Search(len(l.ents), func(i int) bool {
+		return bytes.Compare(l.ents[i].key, key) >= 0
+	})
+	if i >= len(l.ents) || !bytes.Equal(l.ents[i].key, key) {
+		return false
+	}
+	d.markDirty(l)
+	d.adjustLeafBytes(l, -entryBytes(len(l.ents[i].key), len(l.ents[i].value)))
+	l.ents = append(l.ents[:i], l.ents[i+1:]...)
+	return true
+}
+
+// Scan returns up to count items with key >= start: leaves are chained in
+// key order, so sorted data yields several items per 4KB leaf read — the
+// design advantage for scans that Figure 10 quantifies.
+func (d *DB) Scan(c env.Ctx, start []byte, count int) []kv.Item {
+	c.CPU(costs.LockUncontended)
+	d.mu.Lock(c)
+	d.stats.Scans++
+	var out []kv.Item
+	li := d.findLeaf(c, start)
+	for li < len(d.leaves) && len(out) < count {
+		l := d.leaves[li]
+		if d.loadLeaf(c, l) {
+			// Lock was dropped; re-find the position by the last key we
+			// emitted (or start).
+			key := start
+			if len(out) > 0 {
+				key = out[len(out)-1].Key
+			}
+			li = d.findLeaf(c, key)
+			continue
+		}
+		for _, e := range l.ents {
+			if bytes.Compare(e.key, start) < 0 {
+				continue
+			}
+			if len(out) > 0 && bytes.Compare(e.key, out[len(out)-1].Key) <= 0 {
+				continue
+			}
+			c.CPU(costs.IterStep)
+			out = append(out, kv.Item{
+				Key:   append([]byte(nil), e.key...),
+				Value: append([]byte(nil), e.value...),
+			})
+			if len(out) >= count {
+				break
+			}
+		}
+		li++
+	}
+	d.mu.Unlock(c)
+	return out
+}
+
+// BulkLoad implements kv.Engine: builds ~90%-full leaves directly on disk.
+func (d *DB) BulkLoad(items []kv.Item) error {
+	budget := d.cfg.LeafBytes * 9 / 10
+	var leaves []*leaf
+	cur := &leaf{ents: []entry{}, lruIdx: -1}
+	flush := func() {
+		if len(cur.ents) == 0 {
+			return
+		}
+		cur.pages = (int64(cur.bytes) + 4 + device.PageSize - 1) / device.PageSize
+		cur.page = d.alloc.Alloc(cur.pages)
+		buf := serializeLeaf(cur)
+		if err := storeOf(d.disk).WritePages(cur.page, buf); err != nil {
+			panic(err)
+		}
+		cur.ents = nil // not resident
+		leaves = append(leaves, cur)
+		cur = &leaf{ents: []entry{}, lruIdx: -1}
+	}
+	for _, it := range items {
+		n := entryBytes(len(it.Key), len(it.Value))
+		if cur.bytes+n+4 > budget && len(cur.ents) > 0 {
+			flush()
+		}
+		if len(cur.ents) == 0 {
+			cur.firstKey = append([]byte(nil), it.Key...)
+		}
+		cur.ents = append(cur.ents, entry{key: it.Key, value: it.Value})
+		cur.bytes += n
+	}
+	flush()
+	if len(leaves) > 0 {
+		leaves[0].firstKey = nil // leftmost leaf owns -inf
+		d.leaves = leaves
+		d.lru = nil
+		d.cachedB = 0
+		d.dirtyB = 0
+	}
+	return nil
+}
+
+func storeOf(dd device.Disk) device.Store {
+	return dd.(interface{ Store() device.Store }).Store()
+}
+
+// ---- background threads ----
+
+// evictLoop writes dirty leaves back when the dirty fraction exceeds the
+// trigger, unblocking stalled writers.
+func (d *DB) evictLoop(c env.Ctx) {
+	for {
+		d.mu.Lock(c)
+		trigger := int64(float64(d.cfg.CacheBytes) * d.cfg.DirtyTriggerFrac)
+		for d.dirtyB <= trigger && !d.closing {
+			d.cond.Wait(c)
+		}
+		if d.closing {
+			d.mu.Unlock(c)
+			return
+		}
+		// Evict the oldest dirty leaf.
+		var victim *leaf
+		for _, l := range d.lru {
+			if l.dirty && l.ents != nil {
+				victim = l
+				break
+			}
+		}
+		if victim == nil {
+			d.mu.Unlock(c)
+			continue
+		}
+		d.writeLeaf(c, victim, true)
+		d.mu.Unlock(c)
+		d.cond.Broadcast(c)
+	}
+}
+
+// writeLeaf reconciles and writes one dirty leaf (mu held; released around
+// the I/O). drop releases the leaf's memory after writing.
+func (d *DB) writeLeaf(c env.Ctx, l *leaf, drop bool) {
+	c.CPU(costs.PageReconcile + costs.MemBytes(l.bytes))
+	buf := serializeLeaf(l)
+	page, bytes := l.page, l.bytes
+	l.dirty = false
+	d.dirtyB -= int64(bytes)
+	d.mu.Unlock(c)
+	d.writeSync(c, page, buf)
+	d.mu.Lock(c)
+	d.stats.EvictedLeaves++
+	if drop && !l.dirty && l.ents != nil {
+		l.ents = nil
+		d.cachedB -= int64(l.bytes)
+		d.dropFromLRU(l)
+	}
+}
+
+// checkpointLoop periodically writes all dirty leaves (bounding the log),
+// §3.1's checkpointing.
+func (d *DB) checkpointLoop(c env.Ctx) {
+	for {
+		c.Sleep(d.cfg.CheckpointEvery)
+		d.mu.Lock(c)
+		if d.closing {
+			d.mu.Unlock(c)
+			return
+		}
+		for {
+			var victim *leaf
+			for _, l := range d.lru {
+				if l.dirty && l.ents != nil {
+					victim = l
+					break
+				}
+			}
+			if victim == nil {
+				break
+			}
+			d.writeLeaf(c, victim, false)
+			d.stats.CheckpointLeaves++
+			if d.closing {
+				break
+			}
+		}
+		d.mu.Unlock(c)
+		d.cond.Broadcast(c)
+	}
+}

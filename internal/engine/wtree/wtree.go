@@ -1,0 +1,348 @@
+// Package wtree implements a WiredTiger-like persistent B+ tree engine
+// (§3.1 of the KVell paper): 4KB leaf pages on disk with the internal
+// structure in memory, a shared page cache with an eviction thread and
+// periodic checkpoints, and a slot-based group-commit log whose writers
+// busy-wait for earlier slots (the __log_wait_for_earlier_slot /
+// sched_yield behaviour the paper profiles at 47% of worker time).
+//
+// It is a baseline for the evaluation: its losses come from log-slot
+// contention, shared-cache locking, and eviction/checkpoint stalls.
+package wtree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+
+	"kvell/internal/costs"
+	"kvell/internal/device"
+	"kvell/internal/env"
+)
+
+// Config describes a wtree engine.
+type Config struct {
+	Disks []device.Disk
+	// CacheBytes is the page-cache budget (the paper gives every system a
+	// cache of one third of the dataset).
+	CacheBytes int64
+	// DirtyTriggerFrac starts eviction when dirty bytes exceed this
+	// fraction of the cache; DirtyStallFrac stalls application writes.
+	DirtyTriggerFrac float64
+	DirtyStallFrac   float64
+	// LogSlotBytes is the group-commit slot size; a full slot is written
+	// by its leader while later writers busy-wait.
+	LogSlotBytes int64
+	// CheckpointEvery is the checkpoint period.
+	CheckpointEvery env.Time
+	// LeafBytes is the on-disk leaf page size (4KB in the paper's setup).
+	LeafBytes int
+}
+
+// DefaultConfig returns the paper's WiredTiger-like configuration.
+func DefaultConfig(disks ...device.Disk) Config {
+	return Config{
+		Disks:            disks,
+		CacheBytes:       64 << 20,
+		DirtyTriggerFrac: 0.05,
+		DirtyStallFrac:   0.20,
+		LogSlotBytes:     16 << 10,
+		CheckpointEvery:  2 * env.Second,
+		LeafBytes:        device.PageSize,
+	}
+}
+
+// Stats is a snapshot of engine activity.
+type Stats struct {
+	Gets, Puts, Scans int64
+	CacheHits         int64
+	CacheMisses       int64
+	EvictedLeaves     int64
+	CheckpointLeaves  int64
+	WriteStalls       int64
+	StallTime         env.Time
+	LogSlotWrites     int64
+	LogSpinTime       env.Time
+}
+
+// entry is one record in a leaf.
+type entry struct {
+	key   []byte
+	value []byte
+}
+
+func entryBytes(klen, vlen int) int { return 6 + klen + vlen }
+
+// leaf is one on-disk page (or page run, for large values) of sorted
+// records, plus its cached in-memory form.
+type leaf struct {
+	firstKey []byte
+	page     int64
+	pages    int64
+	ents     []entry // nil when not cached
+	bytes    int     // serialized size
+	dirty    bool
+	lruIdx   int // index in the clock/LRU list, -1 when absent
+}
+
+// DB is the wtree engine.
+type DB struct {
+	env  env.Env
+	cfg  Config
+	name string
+
+	// The shared cache/tree lock: every operation takes it (briefly), the
+	// shared-structure cost §3.1 attributes to B-tree designs.
+	mu      env.Mutex
+	cond    env.Cond // eviction progress / checkpoint wakeups / stalls
+	leaves  []*leaf  // sorted by firstKey
+	lru     []*leaf  // cached leaves, oldest first (approximate LRU)
+	cachedB int64    // resident bytes
+	dirtyB  int64    // dirty resident bytes
+	closing bool
+
+	// Commit log.
+	logMu      env.Mutex
+	logBuf     int64
+	logWriting bool
+	logPage    int64
+
+	alloc *device.Allocator
+	disk  device.Disk
+
+	stats Stats
+}
+
+// New returns a wtree engine.
+func New(e env.Env, cfg Config) *DB {
+	if len(cfg.Disks) == 0 {
+		panic("wtree: no disks")
+	}
+	if cfg.LeafBytes == 0 {
+		cfg.LeafBytes = device.PageSize
+	}
+	d := &DB{env: e, cfg: cfg, name: "WiredTiger-like", disk: cfg.Disks[0]}
+	d.mu = e.NewMutex()
+	d.cond = e.NewCond(d.mu)
+	d.logMu = e.NewMutex()
+	d.alloc = device.NewAllocator(1 << 20) // first pages reserved for the log
+	// Start with one empty leaf so the tree is never empty.
+	l := &leaf{firstKey: nil, ents: []entry{}, lruIdx: -1}
+	l.pages = 1
+	l.page = d.alloc.Alloc(1)
+	d.leaves = append(d.leaves, l)
+	d.touch(l)
+	return d
+}
+
+// Name implements kv.Engine.
+func (d *DB) Name() string { return d.name }
+
+// Stats returns a snapshot.
+func (d *DB) Stats() Stats { return d.stats }
+
+// Start launches the eviction and checkpoint threads.
+func (d *DB) Start() {
+	d.env.Go("wtree-evict", d.evictLoop)
+	d.env.Go("wtree-checkpoint", d.checkpointLoop)
+}
+
+// Stop signals background threads to exit.
+func (d *DB) Stop(c env.Ctx) {
+	d.mu.Lock(c)
+	d.closing = true
+	d.mu.Unlock(c)
+	d.cond.Broadcast(c)
+}
+
+// ---- leaf (de)serialization ----
+
+func serializeLeaf(l *leaf) []byte {
+	pages := (l.bytes + 4 + device.PageSize - 1) / device.PageSize
+	if pages < 1 {
+		pages = 1
+	}
+	buf := make([]byte, pages*device.PageSize)
+	binary.LittleEndian.PutUint32(buf, uint32(len(l.ents)))
+	off := 4
+	for _, e := range l.ents {
+		binary.LittleEndian.PutUint16(buf[off:], uint16(len(e.key)))
+		binary.LittleEndian.PutUint32(buf[off+2:], uint32(len(e.value)))
+		copy(buf[off+6:], e.key)
+		copy(buf[off+6+len(e.key):], e.value)
+		off += entryBytes(len(e.key), len(e.value))
+	}
+	return buf
+}
+
+func deserializeLeaf(buf []byte) ([]entry, int) {
+	n := int(binary.LittleEndian.Uint32(buf))
+	ents := make([]entry, 0, n)
+	off := 4
+	total := 0
+	for i := 0; i < n; i++ {
+		klen := int(binary.LittleEndian.Uint16(buf[off:]))
+		vlen := int(binary.LittleEndian.Uint32(buf[off+2:]))
+		k := append([]byte(nil), buf[off+6:off+6+klen]...)
+		v := append([]byte(nil), buf[off+6+klen:off+6+klen+vlen]...)
+		ents = append(ents, entry{key: k, value: v})
+		off += entryBytes(klen, vlen)
+		total += entryBytes(klen, vlen)
+	}
+	return ents, total
+}
+
+// ---- cache management (mu held unless noted) ----
+
+func (d *DB) touch(l *leaf) {
+	if l.lruIdx >= 0 {
+		// Move to the back (most recent).
+		copy(d.lru[l.lruIdx:], d.lru[l.lruIdx+1:])
+		d.lru = d.lru[:len(d.lru)-1]
+		for i := l.lruIdx; i < len(d.lru); i++ {
+			d.lru[i].lruIdx = i
+		}
+	}
+	l.lruIdx = len(d.lru)
+	d.lru = append(d.lru, l)
+}
+
+func (d *DB) dropFromLRU(l *leaf) {
+	if l.lruIdx < 0 {
+		return
+	}
+	copy(d.lru[l.lruIdx:], d.lru[l.lruIdx+1:])
+	d.lru = d.lru[:len(d.lru)-1]
+	for i := l.lruIdx; i < len(d.lru); i++ {
+		d.lru[i].lruIdx = i
+	}
+	l.lruIdx = -1
+}
+
+func (d *DB) markCached(l *leaf) {
+	d.cachedB += int64(l.bytes)
+	d.touch(l)
+	// Evict clean leaves synchronously if far over budget (dirty leaves
+	// are the eviction thread's job).
+	for d.cachedB > d.cfg.CacheBytes && len(d.lru) > 1 {
+		evicted := false
+		for _, v := range d.lru {
+			if v == l || v.dirty || v.ents == nil {
+				continue
+			}
+			d.cachedB -= int64(v.bytes)
+			v.ents = nil
+			d.dropFromLRU(v)
+			evicted = true
+			break
+		}
+		if !evicted {
+			break
+		}
+	}
+}
+
+// adjustLeafBytes applies a size change to a resident leaf, keeping the
+// cache and dirty accounting consistent (mu held).
+func (d *DB) adjustLeafBytes(l *leaf, delta int) {
+	l.bytes += delta
+	if l.ents != nil {
+		d.cachedB += int64(delta)
+	}
+	if l.dirty {
+		d.dirtyB += int64(delta)
+	}
+}
+
+// markDirty flags a resident leaf dirty, accounting its bytes (mu held).
+func (d *DB) markDirty(l *leaf) {
+	if !l.dirty {
+		l.dirty = true
+		d.dirtyB += int64(l.bytes)
+	}
+}
+
+// findLeaf returns the index of the leaf owning key (mu held). The
+// in-memory descent is charged like a B-tree walk.
+func (d *DB) findLeaf(c env.Ctx, key []byte) int {
+	depth := 1
+	for n := len(d.leaves); n > 1; n /= 16 {
+		depth++
+	}
+	c.CPU(env.Time(depth) * costs.BTreeNode)
+	i := sort.Search(len(d.leaves), func(i int) bool {
+		return bytes.Compare(d.leaves[i].firstKey, key) > 0
+	})
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// loadLeaf ensures l's entries are resident, releasing the lock around the
+// disk read (one pread system call per miss, §3.1). Because the lock is
+// dropped, callers must re-find their leaf afterwards; loadLeaf reports
+// whether it had to do I/O.
+func (d *DB) loadLeaf(c env.Ctx, l *leaf) bool {
+	if l.ents != nil {
+		d.stats.CacheHits++
+		d.touch(l)
+		return false
+	}
+	d.stats.CacheMisses++
+	pages := l.pages
+	page := l.page
+	d.mu.Unlock(c)
+	buf := make([]byte, pages*device.PageSize)
+	d.readSync(c, page, buf)
+	ents, total := deserializeLeaf(buf)
+	c.CPU(costs.MemBytes(total))
+	d.mu.Lock(c)
+	if l.ents == nil {
+		l.ents = ents
+		l.bytes = total
+		d.markCached(l)
+	}
+	return true
+}
+
+func (d *DB) readSync(c env.Ctx, page int64, buf []byte) {
+	// Buffered pread path (§6.3.1): syscall plus per-byte copy/checksum.
+	c.CPU(costs.Syscall + costs.PreadBytes(len(buf)))
+	w := newWaiter(d.env)
+	d.disk.Submit(&device.Request{Op: device.Read, Page: page, Buf: buf, Done: w.done})
+	w.wait(c)
+}
+
+func (d *DB) writeSync(c env.Ctx, page int64, buf []byte) {
+	c.CPU(costs.Syscall + costs.PwriteBytes(len(buf)))
+	w := newWaiter(d.env)
+	d.disk.Submit(&device.Request{Op: device.Write, Page: page, Buf: buf, Done: w.done})
+	w.wait(c)
+}
+
+type waiter struct {
+	mu   env.Mutex
+	cond env.Cond
+	ok   bool
+}
+
+func newWaiter(e env.Env) *waiter {
+	w := &waiter{mu: e.NewMutex()}
+	w.cond = e.NewCond(w.mu)
+	return w
+}
+
+func (w *waiter) done() {
+	w.mu.Lock(nil)
+	w.ok = true
+	w.mu.Unlock(nil)
+	w.cond.Broadcast(nil)
+}
+
+func (w *waiter) wait(c env.Ctx) {
+	w.mu.Lock(c)
+	for !w.ok {
+		w.cond.Wait(c)
+	}
+	w.mu.Unlock(c)
+}

@@ -1,0 +1,274 @@
+package wtree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"kvell/internal/device"
+	"kvell/internal/env"
+	"kvell/internal/kv"
+	"kvell/internal/sim"
+)
+
+func harness(t *testing.T, tweak func(*Config), fn func(c env.Ctx, d *DB)) *DB {
+	t.Helper()
+	s := sim.New(1)
+	e := sim.NewEnv(s, 8)
+	disk := device.NewSimDisk(s, device.Optane(), nil)
+	cfg := DefaultConfig(disk)
+	cfg.CacheBytes = 256 << 10 // small, to exercise eviction
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	d := New(e, cfg)
+	d.Start()
+	e.Go("client", func(c env.Ctx) {
+		fn(c, d)
+		d.Stop(c)
+	})
+	if err := s.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPutGetDelete(t *testing.T) {
+	harness(t, nil, func(c env.Ctx, d *DB) {
+		for i := int64(0); i < 600; i++ {
+			d.Put(c, kv.Key(i), kv.Value(i, 1, 500))
+		}
+		for i := int64(0); i < 600; i++ {
+			v, ok := d.Get(c, kv.Key(i))
+			if !ok || !bytes.Equal(v, kv.Value(i, 1, 500)) {
+				t.Fatalf("Get(%d) ok=%v", i, ok)
+			}
+		}
+		if !d.Delete(c, kv.Key(9)) {
+			t.Fatal("delete failed")
+		}
+		if _, ok := d.Get(c, kv.Key(9)); ok {
+			t.Fatal("deleted key visible")
+		}
+		if d.Delete(c, kv.Key(9)) {
+			t.Fatal("double delete")
+		}
+	})
+}
+
+func TestLeafSplitsKeepOrder(t *testing.T) {
+	d := harness(t, nil, func(c env.Ctx, d *DB) {
+		r := rand.New(rand.NewSource(3))
+		for _, i := range r.Perm(2000) {
+			d.Put(c, kv.Key(int64(i)), kv.Value(int64(i), 1, 400))
+		}
+		items := d.Scan(c, kv.Key(0), 2000)
+		if len(items) != 2000 {
+			t.Fatalf("scan returned %d", len(items))
+		}
+		for j, it := range items {
+			if !bytes.Equal(it.Key, kv.Key(int64(j))) {
+				t.Fatalf("scan[%d] = %q", j, it.Key)
+			}
+		}
+	})
+	if len(d.leaves) < 100 {
+		t.Fatalf("only %d leaves after 2000 ~400B inserts; splits broken", len(d.leaves))
+	}
+	// Leaf table must be sorted with the leftmost leaf owning -inf.
+	if d.leaves[0].firstKey != nil {
+		t.Fatal("leftmost leaf does not own -inf")
+	}
+	for i := 2; i < len(d.leaves); i++ {
+		if bytes.Compare(d.leaves[i-1].firstKey, d.leaves[i].firstKey) >= 0 {
+			t.Fatal("leaf table out of order")
+		}
+	}
+}
+
+func TestEvictionAndReload(t *testing.T) {
+	d := harness(t, func(cfg *Config) { cfg.CacheBytes = 64 << 10 }, func(c env.Ctx, d *DB) {
+		// Data far exceeds the cache; leaves must round-trip disk.
+		for i := int64(0); i < 1500; i++ {
+			d.Put(c, kv.Key(i), kv.Value(i, 1, 600))
+		}
+		for i := int64(0); i < 1500; i += 7 {
+			v, ok := d.Get(c, kv.Key(i))
+			if !ok || !bytes.Equal(v, kv.Value(i, 1, 600)) {
+				t.Fatalf("Get(%d) after eviction pressure ok=%v", i, ok)
+			}
+		}
+	})
+	if d.stats.CacheMisses == 0 {
+		t.Fatal("no cache misses despite tiny cache")
+	}
+	if d.stats.EvictedLeaves == 0 {
+		t.Fatal("eviction thread never ran")
+	}
+	if d.cachedB > d.cfg.CacheBytes*2 {
+		t.Fatalf("resident bytes %d far above budget %d", d.cachedB, d.cfg.CacheBytes)
+	}
+}
+
+func TestUpdatesSurviveEvictionRoundTrip(t *testing.T) {
+	harness(t, func(cfg *Config) { cfg.CacheBytes = 32 << 10 }, func(c env.Ctx, d *DB) {
+		for i := int64(0); i < 400; i++ {
+			d.Put(c, kv.Key(i), kv.Value(i, 1, 600))
+		}
+		for i := int64(0); i < 400; i++ {
+			d.Put(c, kv.Key(i), kv.Value(i, 2, 600))
+		}
+		// Push everything through the cache multiple times.
+		for i := int64(400); i < 1200; i++ {
+			d.Put(c, kv.Key(i), kv.Value(i, 1, 600))
+		}
+		for i := int64(0); i < 400; i += 11 {
+			v, ok := d.Get(c, kv.Key(i))
+			if !ok || !bytes.Equal(v, kv.Value(i, 2, 600)) {
+				t.Fatalf("updated key %d lost its new value", i)
+			}
+		}
+	})
+}
+
+func TestLogSlotContention(t *testing.T) {
+	// Many concurrent writers must produce slot writes and spin time.
+	s := sim.New(1)
+	e := sim.NewEnv(s, 8)
+	disk := device.NewSimDisk(s, device.Optane(), nil)
+	cfg := DefaultConfig(disk)
+	d := New(e, cfg)
+	d.Start()
+	doneCount := 0
+	for w := 0; w < 16; w++ {
+		w := w
+		e.Go("writer", func(c env.Ctx) {
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 300; i++ {
+				k := int64(r.Intn(5000))
+				d.Put(c, kv.Key(k), kv.Value(k, 1, 900))
+			}
+			doneCount++
+			if doneCount == 16 {
+				d.Stop(c)
+			}
+		})
+	}
+	if err := s.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if d.stats.LogSlotWrites == 0 {
+		t.Fatal("no log slot writes")
+	}
+	if d.stats.LogSpinTime == 0 {
+		t.Fatal("no busy-wait time recorded — contention model dead")
+	}
+}
+
+func TestWriteStallsUnderDirtyPressure(t *testing.T) {
+	d := harness(t, func(cfg *Config) {
+		cfg.CacheBytes = 32 << 10
+		cfg.DirtyStallFrac = 0.10
+	}, func(c env.Ctx, d *DB) {
+		for i := int64(0); i < 2000; i++ {
+			d.Put(c, kv.Key(i%100), kv.Value(i, uint64(i), 900))
+		}
+	})
+	if d.stats.WriteStalls == 0 {
+		t.Fatal("no write stalls despite tiny dirty budget")
+	}
+}
+
+func TestBulkLoadReadbackAndScan(t *testing.T) {
+	items := make([]kv.Item, 3000)
+	for i := range items {
+		items[i] = kv.Item{Key: kv.Key(int64(i)), Value: kv.Value(int64(i), 0, 700)}
+	}
+	harness(t, nil, func(c env.Ctx, d *DB) {
+		if err := d.BulkLoad(items); err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 3000; i += 101 {
+			v, ok := d.Get(c, kv.Key(i))
+			if !ok || !bytes.Equal(v, kv.Value(i, 0, 700)) {
+				t.Fatalf("Get(%d) after bulk load ok=%v", i, ok)
+			}
+		}
+		got := d.Scan(c, kv.Key(1234), 40)
+		if len(got) != 40 || !bytes.Equal(got[0].Key, kv.Key(1234)) {
+			t.Fatalf("scan after bulk load: %d items", len(got))
+		}
+		// Mutations after bulk load.
+		d.Put(c, kv.Key(1234), kv.Value(1234, 5, 700))
+		v, _ := d.Get(c, kv.Key(1234))
+		if !bytes.Equal(v, kv.Value(1234, 5, 700)) {
+			t.Fatal("update after bulk load lost")
+		}
+	})
+}
+
+func TestLeafCodecRoundtrip(t *testing.T) {
+	l := &leaf{}
+	for i := int64(0); i < 5; i++ {
+		e := entry{key: kv.Key(i), value: kv.Value(i, 0, 300)}
+		l.ents = append(l.ents, e)
+		l.bytes += entryBytes(len(e.key), len(e.value))
+	}
+	buf := serializeLeaf(l)
+	if len(buf)%device.PageSize != 0 {
+		t.Fatal("leaf image not page aligned")
+	}
+	ents, total := deserializeLeaf(buf)
+	if len(ents) != 5 || total != l.bytes {
+		t.Fatalf("roundtrip: %d ents, %d bytes (want %d)", len(ents), total, l.bytes)
+	}
+	for i, e := range ents {
+		if !bytes.Equal(e.key, kv.Key(int64(i))) || !bytes.Equal(e.value, kv.Value(int64(i), 0, 300)) {
+			t.Fatalf("entry %d corrupted", i)
+		}
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	harness(t, nil, func(c env.Ctx, d *DB) {
+		big := kv.Value(1, 1, 20_000)
+		d.Put(c, kv.Key(1), big)
+		for i := int64(10); i < 400; i++ {
+			d.Put(c, kv.Key(i), kv.Value(i, 1, 500))
+		}
+		v, ok := d.Get(c, kv.Key(1))
+		if !ok || !bytes.Equal(v, big) {
+			t.Fatal("large value corrupted")
+		}
+	})
+}
+
+func TestOracleRandomized(t *testing.T) {
+	harness(t, func(cfg *Config) { cfg.CacheBytes = 48 << 10 }, func(c env.Ctx, d *DB) {
+		r := rand.New(rand.NewSource(11))
+		oracle := map[int64]uint64{}
+		var ver uint64
+		for op := 0; op < 5000; op++ {
+			i := int64(r.Intn(400))
+			switch r.Intn(8) {
+			case 0:
+				d.Delete(c, kv.Key(i))
+				delete(oracle, i)
+			case 1, 2, 3, 4:
+				ver++
+				d.Put(c, kv.Key(i), kv.Value(i, ver, 500))
+				oracle[i] = ver
+			default:
+				v, ok := d.Get(c, kv.Key(i))
+				wv, wok := oracle[i]
+				if ok != wok || (ok && !bytes.Equal(v, kv.Value(i, wv, 500))) {
+					t.Fatalf("op %d key %d: ok=%v want %v", op, i, ok, wok)
+				}
+			}
+		}
+	})
+}

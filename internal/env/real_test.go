@@ -1,0 +1,103 @@
+package env
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealQueueFIFOAndClose(t *testing.T) {
+	e := NewReal()
+	q := e.NewQueue()
+	c := &fakeCtx{}
+	for i := 0; i < 5; i++ {
+		q.Push(c, i)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	b := q.TryPop(c, 3)
+	if len(b) != 3 || b[0].(int) != 0 || b[2].(int) != 2 {
+		t.Fatalf("TryPop = %v", b)
+	}
+	b = q.PopWait(c, 10)
+	if len(b) != 2 {
+		t.Fatalf("PopWait = %v", b)
+	}
+	q.Close(c)
+	if b := q.PopWait(c, 1); b != nil {
+		t.Fatalf("PopWait after close = %v", b)
+	}
+}
+
+func TestRealQueueBlocksUntilPush(t *testing.T) {
+	e := NewReal()
+	q := e.NewQueue()
+	c := &fakeCtx{}
+	got := make(chan []any, 1)
+	go func() { got <- q.PopWait(c, 1) }()
+	time.Sleep(10 * time.Millisecond)
+	q.Push(c, "x")
+	select {
+	case b := <-got:
+		if len(b) != 1 || b[0].(string) != "x" {
+			t.Fatalf("got %v", b)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PopWait never woke")
+	}
+}
+
+func TestRealEnvGoAndWait(t *testing.T) {
+	e := NewReal()
+	var n atomic.Int32
+	for i := 0; i < 10; i++ {
+		e.Go("t", func(c Ctx) { n.Add(1) })
+	}
+	e.Wait()
+	if n.Load() != 10 {
+		t.Fatalf("ran %d goroutines", n.Load())
+	}
+}
+
+func TestRealCondSignal(t *testing.T) {
+	e := NewReal()
+	m := e.NewMutex()
+	cond := e.NewCond(m)
+	c := &fakeCtx{}
+	ready := false
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Lock(c)
+		for !ready {
+			cond.Wait(c)
+		}
+		m.Unlock(c)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	m.Lock(c)
+	ready = true
+	m.Unlock(c)
+	cond.Broadcast(c)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("cond wait never woke")
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	e := NewReal()
+	a := e.Now()
+	time.Sleep(2 * time.Millisecond)
+	if b := e.Now(); b <= a {
+		t.Fatalf("Now did not advance: %d -> %d", a, b)
+	}
+}
+
+type fakeCtx struct{}
+
+func (fakeCtx) Now() Time    { return 0 }
+func (fakeCtx) CPU(Time)     {}
+func (fakeCtx) Sleep(d Time) { time.Sleep(time.Duration(d)) }

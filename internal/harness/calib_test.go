@@ -1,0 +1,25 @@
+package harness
+
+import (
+	"testing"
+
+	"kvell/internal/env"
+	"kvell/internal/ycsb"
+)
+
+func TestCalib(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	for _, wl := range []byte{'A', 'C', 'E'} {
+		for _, k := range AllEngines {
+			r := Run(Spec{
+				Engine: k, Records: 50_000, Seed: 42,
+				Gen:      ycsbGen(wl, ycsb.Uniform, 50_000, 1024),
+				Warmup:   250 * env.Millisecond,
+				Duration: 1000 * env.Millisecond,
+			})
+			t.Logf("YCSB-%c %-16s %10.0f ops/s  p99=%d us", wl, r.EngineName, r.Throughput, r.Lat.Percentile(0.99)/1000)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"kvell/internal/device"
+	"kvell/internal/env"
+	"kvell/internal/kv"
+	"kvell/internal/sim"
+)
+
+// TestEnginesAgreeWithModel runs an identical randomized operation sequence
+// through every engine and checks reads and scans against a model map —
+// the cross-engine integration test that ties the whole repository
+// together.
+func TestEnginesAgreeWithModel(t *testing.T) {
+	const records = 400
+	type op struct {
+		kind kv.OpType
+		key  int64
+		ver  uint64
+		scan int
+	}
+	r := rand.New(rand.NewSource(77))
+	var ops []op
+	var ver uint64
+	for i := 0; i < 2500; i++ {
+		o := op{key: int64(r.Intn(records))}
+		switch r.Intn(10) {
+		case 0, 1, 2, 3:
+			ver++
+			o.kind, o.ver = kv.OpUpdate, ver
+		case 4:
+			o.kind, o.scan = kv.OpScan, 1+r.Intn(20)
+		default:
+			o.kind = kv.OpGet
+		}
+		ops = append(ops, o)
+	}
+
+	// Model results.
+	model := map[int64]uint64{}
+	for i := int64(0); i < records; i++ {
+		model[i] = 0
+	}
+	valueOf := func(key int64, ver uint64) []byte { return kv.Value(key, ver, 600) }
+
+	for _, kind := range AllEngines {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			s := sim.New(5)
+			e := sim.NewEnv(s, 8)
+			disk := device.NewSimDisk(s, device.Optane(), nil)
+			spec := Spec{Engine: kind, Records: records, ItemSize: 1024}
+			spec.defaults()
+			eng := buildEngine(e, &spec, []device.Disk{disk})
+			var items []kv.Item
+			for i := int64(0); i < records; i++ {
+				items = append(items, kv.Item{Key: kv.Key(i), Value: valueOf(i, 0)})
+			}
+			if err := eng.BulkLoad(items); err != nil {
+				t.Fatal(err)
+			}
+			eng.Start()
+			m := map[int64]uint64{}
+			for k, v := range model {
+				m[k] = v
+			}
+			e.Go("client", func(c env.Ctx) {
+				for i, o := range ops {
+					switch o.kind {
+					case kv.OpUpdate:
+						res := make(chan struct{}) // engines may be async; use Done
+						_ = res
+						doneCh := false
+						eng.Submit(c, &kv.Request{Op: kv.OpUpdate, Key: kv.Key(o.key), Value: valueOf(o.key, o.ver),
+							Done: func(kv.Result) { doneCh = true }})
+						for !doneCh {
+							c.Sleep(10 * env.Microsecond)
+						}
+						m[o.key] = o.ver
+					case kv.OpGet:
+						var got kv.Result
+						doneCh := false
+						eng.Submit(c, &kv.Request{Op: kv.OpGet, Key: kv.Key(o.key),
+							Done: func(r kv.Result) { got = r; doneCh = true }})
+						for !doneCh {
+							c.Sleep(10 * env.Microsecond)
+						}
+						want, ok := m[o.key]
+						if got.Found != ok {
+							t.Errorf("op %d: %v Get(%d) found=%v want %v", i, kind, o.key, got.Found, ok)
+							return
+						}
+						if ok && !bytes.Equal(got.Value, valueOf(o.key, want)) {
+							t.Errorf("op %d: %v Get(%d) stale value (want ver %d)", i, kind, o.key, want)
+							return
+						}
+					case kv.OpScan:
+						var got kv.Result
+						doneCh := false
+						eng.Submit(c, &kv.Request{Op: kv.OpScan, Key: kv.Key(o.key), ScanCount: o.scan,
+							Done: func(r kv.Result) { got = r; doneCh = true }})
+						for !doneCh {
+							c.Sleep(10 * env.Microsecond)
+						}
+						want := o.scan
+						if o.key+int64(o.scan) > records {
+							want = int(records - o.key)
+						}
+						if got.ScanN != want {
+							t.Errorf("op %d: %v Scan(%d,%d) returned %d, want %d", i, kind, o.key, o.scan, got.ScanN, want)
+							return
+						}
+					}
+				}
+				eng.Stop(c)
+			})
+			if err := s.Run(-1); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

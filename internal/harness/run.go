@@ -1,0 +1,300 @@
+// Package harness runs the paper's experiments: it assembles a simulated
+// machine (CPU cores + calibrated disks), an engine, a workload generator
+// and closed-loop clients, and measures throughput, latency distributions
+// and utilization timelines. One experiment definition exists for every
+// table and figure in the paper's evaluation (see DESIGN.md §3).
+package harness
+
+import (
+	"fmt"
+
+	"kvell/internal/core"
+	"kvell/internal/device"
+	"kvell/internal/engine/betree"
+	"kvell/internal/engine/lsm"
+	"kvell/internal/engine/wtree"
+	"kvell/internal/env"
+	"kvell/internal/kv"
+	"kvell/internal/sim"
+	"kvell/internal/stats"
+)
+
+// EngineKind selects which system to benchmark.
+type EngineKind int
+
+// Engine kinds, in the paper's comparison set.
+const (
+	KVell EngineKind = iota
+	RocksLike
+	PebblesLike
+	WiredTigerLike
+	TokuLike
+)
+
+// AllEngines is the paper's full comparison set.
+var AllEngines = []EngineKind{KVell, RocksLike, PebblesLike, TokuLike, WiredTigerLike}
+
+// String names the engine like the paper does.
+func (k EngineKind) String() string {
+	switch k {
+	case KVell:
+		return "KVell"
+	case RocksLike:
+		return "RocksDB-like"
+	case PebblesLike:
+		return "PebblesDB-like"
+	case WiredTigerLike:
+		return "WiredTiger-like"
+	case TokuLike:
+		return "TokuMX-like"
+	default:
+		return "?"
+	}
+}
+
+// Generator is the workload interface both the YCSB and the Nutanix
+// generators satisfy.
+type Generator interface {
+	Next() *kv.Request
+	InitialItems() []kv.Item
+}
+
+// Spec describes one benchmark run.
+type Spec struct {
+	Name    string
+	Seed    int64
+	Cores   int
+	Profile device.Profile
+	NDisks  int
+	// NullBacked uses a discard/zero page store (for datasets too large
+	// to hold real bytes; I/O patterns and timing are unaffected).
+	NullBacked bool
+
+	Engine    EngineKind
+	Records   int64
+	ItemSize  int // bytes per record, for cache sizing
+	CacheFrac float64
+
+	Gen     func(seed int64) Generator
+	Clients int
+	Window  int // outstanding requests per client (KVell pipelines)
+
+	Warmup   env.Time
+	Duration env.Time
+	Bucket   env.Time // timeline bucket (default 1s)
+
+	// Tweak hooks let experiments adjust engine configs.
+	TweakKVell func(*core.Config)
+	TweakLSM   func(*lsm.Config)
+	TweakWT    func(*wtree.Config)
+	TweakBE    func(*betree.Config)
+}
+
+// Result holds one run's measurements.
+type Result struct {
+	Spec       Spec
+	EngineName string
+	Ops        int64
+	Throughput float64 // ops/s in the measurement window
+	Lat        *stats.Hist
+	Timeline   *stats.Timeline // completed ops per bucket
+	DiskBW     *stats.Timeline // device bytes per bucket
+	CPUUtil    *stats.Util
+	DiskUtil   *stats.Util
+	Disks      []*device.SimDisk
+	Engine     kv.Engine
+	Sim        *sim.Sim
+}
+
+func (s *Spec) defaults() {
+	if s.Cores == 0 {
+		s.Cores = 8
+	}
+	if s.Profile.Name == "" {
+		s.Profile = device.Optane()
+	}
+	if s.NDisks == 0 {
+		s.NDisks = 1
+	}
+	if s.Records == 0 {
+		s.Records = 100_000
+	}
+	if s.ItemSize == 0 {
+		s.ItemSize = 1024
+	}
+	if s.CacheFrac == 0 {
+		s.CacheFrac = 1.0 / 3
+	}
+	if s.Clients == 0 {
+		if s.Engine == KVell {
+			s.Clients = 8
+		} else {
+			s.Clients = 96 // enough blocking YCSB threads to find the CPU limit
+		}
+	}
+	if s.Window == 0 {
+		if s.Engine == KVell {
+			s.Window = 32
+		} else {
+			s.Window = 1
+		}
+	}
+	if s.Duration == 0 {
+		s.Duration = 2 * env.Second
+	}
+	if s.Warmup == 0 {
+		s.Warmup = s.Duration / 4
+	}
+	if s.Bucket == 0 {
+		s.Bucket = env.Second
+	}
+}
+
+// buildEngine constructs the engine with a cache of CacheFrac × dataset.
+func buildEngine(e *sim.Env, s *Spec, disks []device.Disk) kv.Engine {
+	dataset := s.Records * int64(s.ItemSize)
+	cache := int64(float64(dataset) * s.CacheFrac)
+	switch s.Engine {
+	case KVell:
+		cfg := core.DefaultConfig(disks...)
+		cfg.Workers = s.Cores
+		if cfg.Workers < len(disks) {
+			cfg.Workers = len(disks)
+		}
+		cfg.PageCachePages = int(cache / device.PageSize)
+		if s.TweakKVell != nil {
+			s.TweakKVell(&cfg)
+		}
+		st, err := core.Open(e, cfg)
+		if err != nil {
+			panic(err)
+		}
+		return st
+	case RocksLike, PebblesLike:
+		cfg := lsm.DefaultConfig(disks...)
+		cfg.BlockCacheBytes = cache
+		cfg.Fragmented = s.Engine == PebblesLike
+		// Two 128MB memory components per 100GB in the paper; keep the
+		// same ingest-to-flush ratio at harness scale.
+		cfg.MemtableBytes = dataset / 32
+		if cfg.MemtableBytes < 1<<20 {
+			cfg.MemtableBytes = 1 << 20
+		}
+		// A shallow base level engages several levels even at harness
+		// scale, keeping write amplification near the paper's regime.
+		cfg.BaseLevelBytes = cfg.MemtableBytes * 2
+		cfg.TableTargetBytes = cfg.MemtableBytes / 2
+		cfg.CompactionThreads = 3
+		if s.TweakLSM != nil {
+			s.TweakLSM(&cfg)
+		}
+		return lsm.New(e, cfg)
+	case WiredTigerLike:
+		cfg := wtree.DefaultConfig(disks...)
+		cfg.CacheBytes = cache
+		if s.TweakWT != nil {
+			s.TweakWT(&cfg)
+		}
+		return wtree.New(e, cfg)
+	case TokuLike:
+		cfg := betree.DefaultConfig(disks...)
+		cfg.CacheBytes = cache
+		if s.TweakBE != nil {
+			s.TweakBE(&cfg)
+		}
+		return betree.New(e, cfg)
+	default:
+		panic("harness: unknown engine")
+	}
+}
+
+// Run executes the spec and returns measurements.
+func Run(spec Spec) Result {
+	spec.defaults()
+	s := sim.New(spec.Seed + 1)
+	e := sim.NewEnv(s, spec.Cores)
+
+	res := Result{
+		Spec:     spec,
+		Lat:      stats.NewHist(),
+		Timeline: stats.NewTimeline(spec.Bucket),
+		DiskBW:   stats.NewTimeline(spec.Bucket),
+		CPUUtil:  stats.NewUtil(spec.Bucket, spec.Cores),
+		DiskUtil: stats.NewUtil(spec.Bucket, spec.NDisks*spec.Profile.Channels),
+		Sim:      s,
+	}
+	e.CPUs.Station().OnBusy = func(start, end env.Time) { res.CPUUtil.AddBusy(start, end) }
+
+	var disks []device.Disk
+	for i := 0; i < spec.NDisks; i++ {
+		var store device.Store = device.NewMemStore()
+		if spec.NullBacked {
+			store = device.NullStore{}
+		}
+		dd := device.NewSimDisk(s, spec.Profile, store)
+		dd.BWTimeline = res.DiskBW
+		dd.Util = res.DiskUtil
+		disks = append(disks, dd)
+		res.Disks = append(res.Disks, dd)
+	}
+
+	eng := buildEngine(e, &spec, disks)
+	res.Engine = eng
+	res.EngineName = eng.Name()
+
+	gen := spec.Gen(spec.Seed)
+	if err := eng.BulkLoad(gen.InitialItems()); err != nil {
+		panic(err)
+	}
+	eng.Start()
+
+	end := spec.Warmup + spec.Duration
+	active := spec.Clients
+	for ci := 0; ci < spec.Clients; ci++ {
+		e.Go(fmt.Sprintf("client-%d", ci), func(c env.Ctx) {
+			outstanding := 0
+			mu := e.NewMutex()
+			cond := e.NewCond(mu)
+			for c.Now() < end {
+				mu.Lock(c)
+				for outstanding >= spec.Window {
+					cond.Wait(c)
+				}
+				outstanding++
+				mu.Unlock(c)
+				r := gen.Next()
+				r.Start = c.Now()
+				r.Done = func(kv.Result) {
+					t := s.Now()
+					if t >= spec.Warmup && t < end {
+						res.Ops++
+						res.Lat.Add(t - r.Start)
+						res.Timeline.Add(t, 1)
+					}
+					mu.Lock(nil)
+					outstanding--
+					mu.Unlock(nil)
+					cond.Signal(nil)
+				}
+				eng.Submit(c, r)
+			}
+			mu.Lock(c)
+			for outstanding > 0 {
+				cond.Wait(c)
+			}
+			mu.Unlock(c)
+			active--
+			if active == 0 {
+				eng.Stop(c)
+			}
+		})
+	}
+	if err := s.Run(end + 2*env.Second); err != nil {
+		panic(err)
+	}
+	if err := s.Close(); err != nil {
+		panic(err)
+	}
+	res.Throughput = float64(res.Ops) / (float64(spec.Duration) / float64(env.Second))
+	return res
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"testing"
+
+	"kvell/internal/env"
+	"kvell/internal/ycsb"
+)
+
+func ycsbGen(w byte, dist ycsb.Distribution, records int64, item int) func(int64) Generator {
+	return func(seed int64) Generator {
+		return ycsb.NewGenerator(ycsb.Core(w), dist, records, item, seed)
+	}
+}
+
+func TestSmokeKVellYCSBA(t *testing.T) {
+	r := Run(Spec{
+		Name:     "smoke-kvell",
+		Engine:   KVell,
+		Records:  20_000,
+		Gen:      ycsbGen('A', ycsb.Uniform, 20_000, 1024),
+		Warmup:   200 * env.Millisecond,
+		Duration: 500 * env.Millisecond,
+	})
+	if r.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if r.Throughput < 50_000 {
+		t.Fatalf("KVell YCSB-A throughput %.0f ops/s; far below device capability", r.Throughput)
+	}
+	if r.Lat.Count() == 0 || r.Lat.Percentile(0.99) <= 0 {
+		t.Fatal("no latency samples")
+	}
+}
+
+func TestSmokeBaselinesYCSBA(t *testing.T) {
+	for _, k := range []EngineKind{RocksLike, PebblesLike, WiredTigerLike, TokuLike} {
+		r := Run(Spec{
+			Name:     "smoke",
+			Engine:   k,
+			Records:  10_000,
+			Gen:      ycsbGen('A', ycsb.Uniform, 10_000, 1024),
+			Warmup:   100 * env.Millisecond,
+			Duration: 300 * env.Millisecond,
+		})
+		if r.Ops == 0 {
+			t.Fatalf("%v: no operations completed", k)
+		}
+		t.Logf("%v: %.0f ops/s", k, r.Throughput)
+	}
+}

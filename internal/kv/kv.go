@@ -1,0 +1,137 @@
+// Package kv defines the engine-neutral request model shared by KVell and
+// the baseline engines (LSM, B+ tree, Bε tree), plus the key/value codecs
+// used by the workloads. All engines implement the same client interface as
+// the paper (§5.1): Update(k,v), Get(k) and Scan(k1,k2)/Scan(k,n).
+package kv
+
+import (
+	"fmt"
+
+	"kvell/internal/env"
+)
+
+// OpType identifies a client operation.
+type OpType uint8
+
+// Operation types.
+const (
+	OpGet OpType = iota
+	OpUpdate
+	OpDelete
+	OpScan
+	OpRMW // read-modify-write (YCSB F)
+)
+
+// String returns the operation name.
+func (o OpType) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	case OpRMW:
+		return "rmw"
+	default:
+		return "?"
+	}
+}
+
+// Result is the outcome of a request.
+type Result struct {
+	Found bool
+	Value []byte
+	// ScanN is the number of items a scan returned.
+	ScanN int
+}
+
+// Request is one client operation. Done is invoked exactly once when the
+// operation completes (for updates, only after the data is durable, per
+// KVell's no-commit-log guarantee). Engines may invoke Done from any
+// context; callbacks must be short and non-blocking.
+type Request struct {
+	Op        OpType
+	Key       []byte
+	Value     []byte
+	ScanCount int
+	Done      func(Result)
+	// Start is stamped by the issuer for latency accounting.
+	Start env.Time
+}
+
+// Engine is a key-value store under benchmark. Engines with internal worker
+// threads (KVell) enqueue the request and return immediately; library-style
+// engines (the LSM and tree baselines, like RocksDB/WiredTiger) execute the
+// request on the calling thread, blocking it — exactly the threading model
+// the paper measures.
+type Engine interface {
+	Name() string
+	// Start launches the engine's background threads.
+	Start()
+	// Submit hands a request to the engine from client context c.
+	Submit(c env.Ctx, r *Request)
+	// BulkLoad installs the initial dataset directly (the unmeasured YCSB
+	// load phase), bypassing the request path. Items must be sorted by key.
+	BulkLoad(items []Item) error
+	// Stop shuts down background threads (best effort; simulation Close
+	// also unwinds them).
+	Stop(c env.Ctx)
+}
+
+// Item is a key-value pair for bulk loading.
+type Item struct {
+	Key   []byte
+	Value []byte
+}
+
+// KeyLen is the fixed length of generated benchmark keys.
+const KeyLen = 19 // "user" + 15 digits
+
+// Key formats record number i as a fixed-width, order-preserving key
+// (YCSB-style "user..." keys).
+func Key(i int64) []byte {
+	return []byte(fmt.Sprintf("user%015d", i))
+}
+
+// KeyNum parses a generated key back to its record number (-1 if foreign).
+func KeyNum(k []byte) int64 {
+	if len(k) != KeyLen || string(k[:4]) != "user" {
+		return -1
+	}
+	var n int64
+	for _, c := range k[4:] {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n
+}
+
+// Value generates a deterministic value of length n for record i at version
+// v, so tests can verify contents without storing an oracle copy.
+func Value(i int64, version uint64, n int) []byte {
+	buf := make([]byte, n)
+	// xorshift fill seeded from (record, version)
+	s := uint64(i)*0x9E3779B97F4A7C15 + version*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	for j := range buf {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		buf[j] = byte(s)
+	}
+	return buf
+}
+
+// Hash64 is FNV-1a over k; used to shard keys across workers.
+func Hash64(k []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range k {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}

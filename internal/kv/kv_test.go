@@ -1,0 +1,84 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyRoundtrip(t *testing.T) {
+	for _, i := range []int64{0, 1, 42, 999_999, 99_999_999_999} {
+		k := Key(i)
+		if len(k) != KeyLen {
+			t.Fatalf("Key(%d) length %d", i, len(k))
+		}
+		if got := KeyNum(k); got != i {
+			t.Fatalf("KeyNum(Key(%d)) = %d", i, got)
+		}
+	}
+	if KeyNum([]byte("not-a-key")) != -1 {
+		t.Fatal("foreign key parsed")
+	}
+	if KeyNum([]byte("userXXXXXXXXXXXXXXX")) != -1 {
+		t.Fatal("non-digit key parsed")
+	}
+}
+
+func TestKeyOrderMatchesNumericOrder(t *testing.T) {
+	f := func(a, b uint32) bool {
+		ka, kb := Key(int64(a)), Key(int64(b))
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueDeterministic(t *testing.T) {
+	a := Value(7, 3, 100)
+	b := Value(7, 3, 100)
+	if !bytes.Equal(a, b) {
+		t.Fatal("Value not deterministic")
+	}
+	c := Value(7, 4, 100)
+	if bytes.Equal(a, c) {
+		t.Fatal("different versions produced identical values")
+	}
+	d := Value(8, 3, 100)
+	if bytes.Equal(a, d) {
+		t.Fatal("different records produced identical values")
+	}
+	if len(Value(1, 1, 0)) != 0 {
+		t.Fatal("zero-length value")
+	}
+}
+
+func TestHash64Spreads(t *testing.T) {
+	buckets := make([]int, 8)
+	for i := int64(0); i < 8000; i++ {
+		buckets[Hash64(Key(i))%8]++
+	}
+	for w, n := range buckets {
+		if n < 800 || n > 1200 {
+			t.Fatalf("worker %d got %d/8000 keys; hash skewed", w, n)
+		}
+	}
+}
+
+func TestOpTypeString(t *testing.T) {
+	for op, want := range map[OpType]string{
+		OpGet: "get", OpUpdate: "update", OpDelete: "delete", OpScan: "scan", OpRMW: "rmw",
+	} {
+		if op.String() != want {
+			t.Fatalf("%d.String() = %q", op, op.String())
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package nutanix
+
+import (
+	"sort"
+	"testing"
+
+	"kvell/internal/kv"
+)
+
+func TestMixRatios(t *testing.T) {
+	g := New(Workload1, 10_000, 1)
+	counts := map[kv.OpType]int{}
+	const n = 30_000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Op]++
+	}
+	w := 100 * counts[kv.OpUpdate] / n
+	r := 100 * counts[kv.OpGet] / n
+	s := 100 * counts[kv.OpScan] / n
+	if w < 55 || w > 59 || r < 39 || r > 43 || s < 1 || s > 3 {
+		t.Fatalf("mix = %d:%d:%d, want ~57:41:2", w, r, s)
+	}
+}
+
+func TestItemSizeDistribution(t *testing.T) {
+	g := New(Workload1, 50_000, 2)
+	sizes := append([]int(nil), g.sizes...)
+	sort.Ints(sizes)
+	min, med, max := sizes[0], sizes[len(sizes)/2], sizes[len(sizes)-1]
+	if min < 250 || max > 1024 {
+		t.Fatalf("sizes out of [250,1024]: min=%d max=%d", min, max)
+	}
+	if med < 330 || med > 470 {
+		t.Fatalf("median size %d, want ~400 (paper)", med)
+	}
+}
+
+func TestWorkload2IsSkewed(t *testing.T) {
+	records := int64(20_000)
+	g1 := New(Workload1, records, 3)
+	g2 := New(Workload2, records, 3)
+	distinct := func(g *Generator) int {
+		seen := map[int64]bool{}
+		for i := 0; i < 30_000; i++ {
+			seen[kv.KeyNum(g.Next().Key)] = true
+		}
+		return len(seen)
+	}
+	d1, d2 := distinct(g1), distinct(g2)
+	if d2*2 > d1 {
+		t.Fatalf("workload 2 (%d distinct keys) not much more skewed than workload 1 (%d)", d2, d1)
+	}
+}
+
+func TestStableSizesAcrossUpdates(t *testing.T) {
+	g := New(Workload1, 1000, 4)
+	first := map[int64]int{}
+	for i := 0; i < 20_000; i++ {
+		r := g.Next()
+		if r.Op != kv.OpUpdate {
+			continue
+		}
+		n := kv.KeyNum(r.Key)
+		if prev, ok := first[n]; ok {
+			if prev != len(r.Value) {
+				t.Fatalf("record %d changed size %d -> %d across updates", n, prev, len(r.Value))
+			}
+		} else {
+			first[n] = len(r.Value)
+		}
+	}
+}
+
+func TestInitialItemsMatchGeneratedSizes(t *testing.T) {
+	g := New(Workload2, 500, 5)
+	items := g.InitialItems()
+	if len(items) != 500 {
+		t.Fatalf("items = %d", len(items))
+	}
+	for i, it := range items {
+		if len(it.Value) != g.valueBytes(int64(i)) {
+			t.Fatalf("item %d value %dB, want %dB", i, len(it.Value), g.valueBytes(int64(i)))
+		}
+	}
+}

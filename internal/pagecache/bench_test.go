@@ -1,0 +1,25 @@
+package pagecache
+
+import "testing"
+
+func BenchmarkCacheHit(b *testing.B) {
+	c := New(10_000, IndexBTree)
+	for i := int64(0); i < 10_000; i++ {
+		c.Insert(i, nil)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c.Get(int64(i%10_000)) != nil {
+			b.Fatal("unexpected data")
+		}
+		_ = c.Hits()
+	}
+}
+
+func BenchmarkCacheInsertEvict(b *testing.B) {
+	c := New(4096, IndexBTree)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Insert(int64(i), nil)
+	}
+}

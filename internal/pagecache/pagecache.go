@@ -1,0 +1,250 @@
+// Package pagecache implements KVell's internal page cache (§5.3): a
+// per-worker LRU cache of 4KB disk pages, indexed by a B-tree. The paper
+// first used a hash table as the index and observed up to 100ms tail
+// latencies when the table grew; the hash variant is kept here as an
+// ablation (IndexHash) and reports growth events so the engine can charge
+// the corresponding CPU spike.
+//
+// KVell's cache never buffers dirty data — updates are flushed to disk
+// immediately — so entries carry no dirty bit.
+package pagecache
+
+import (
+	"encoding/binary"
+
+	"kvell/internal/btree"
+	"kvell/internal/costs"
+	"kvell/internal/device"
+	"kvell/internal/env"
+)
+
+// IndexKind selects the cache-index data structure.
+type IndexKind uint8
+
+// Index kinds.
+const (
+	IndexBTree IndexKind = iota // production choice (predictable latency)
+	IndexHash                   // ablation: fast average, 100ms growth spikes
+)
+
+type entry struct {
+	page       int64
+	data       []byte
+	prev, next *entry // LRU list; head = MRU
+	pinned     bool
+}
+
+// Cache is a fixed-capacity LRU page cache. Not safe for concurrent use
+// (KVell shards one per worker).
+type Cache struct {
+	capacity int
+	kind     IndexKind
+
+	tree *btree.Tree
+	hash map[int64]*entry
+	// hashGrowAt is the size at which the next simulated hash growth
+	// happens (power-of-two doubling, like uthash).
+	hashGrowAt int
+
+	entries map[int64]*entry // page -> entry (storage; index cost modeled separately)
+	head    *entry
+	tail    *entry
+
+	hits, misses int64
+	// GrewHash is set (and must be cleared by the caller) when the last
+	// Insert triggered a simulated hash-table growth.
+	GrewHash bool
+}
+
+// New returns a cache holding up to capacity pages with the given index.
+func New(capacity int, kind IndexKind) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &Cache{
+		capacity:   capacity,
+		kind:       kind,
+		entries:    make(map[int64]*entry),
+		hashGrowAt: 1024,
+	}
+	if kind == IndexBTree {
+		c.tree = btree.New()
+	}
+	return c
+}
+
+// Capacity returns the page capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Hits and Misses return cumulative lookup counters.
+func (c *Cache) Hits() int64   { return c.hits }
+func (c *Cache) Misses() int64 { return c.misses }
+
+// LookupCost returns the CPU cost of one index lookup, for the engine to
+// charge: B-tree descent depth × per-node cost, or one hash probe.
+func (c *Cache) LookupCost() env.Time {
+	if c.kind == IndexBTree {
+		return env.Time(c.tree.Depth()) * costs.BTreeNode
+	}
+	return costs.HashLookup
+}
+
+// InsertCost returns the CPU cost of the last Insert, including a hash
+// growth spike if one occurred (the caller should add it after Insert).
+func (c *Cache) InsertCost() env.Time {
+	cost := c.LookupCost()
+	if c.GrewHash {
+		cost += costs.HashGrow
+		c.GrewHash = false
+	}
+	return cost
+}
+
+func (c *Cache) touch(e *entry) {
+	if c.head == e {
+		return
+	}
+	// unlink
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	// push front
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// Get returns the cached page data (nil on miss) and promotes it to MRU.
+// The returned slice is the cache's own storage: the engine may mutate it
+// in place when applying an update it is also writing to disk.
+func (c *Cache) Get(page int64) []byte {
+	e, ok := c.entries[page]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.touch(e)
+	return e.data
+}
+
+// Contains reports whether page is cached without promoting it.
+func (c *Cache) Contains(page int64) bool {
+	_, ok := c.entries[page]
+	return ok
+}
+
+// Insert adds page with data (which the cache takes ownership of),
+// evicting the LRU page if at capacity. It returns the evicted page number
+// (or -1). Inserting an already-present page replaces its data.
+func (c *Cache) Insert(page int64, data []byte) (evicted int64) {
+	evicted = -1
+	if e, ok := c.entries[page]; ok {
+		e.data = data
+		c.touch(e)
+		return evicted
+	}
+	if len(c.entries) >= c.capacity {
+		// Evict from the tail, skipping pinned entries.
+		v := c.tail
+		for v != nil && v.pinned {
+			v = v.prev
+		}
+		if v != nil {
+			c.remove(v)
+			evicted = v.page
+		}
+	}
+	e := &entry{page: page, data: data}
+	c.entries[page] = e
+	c.indexInsert(page, e)
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+	return evicted
+}
+
+func (c *Cache) indexInsert(page int64, e *entry) {
+	switch c.kind {
+	case IndexBTree:
+		var k [8]byte
+		binary.BigEndian.PutUint64(k[:], uint64(page))
+		c.tree.Put(k[:], uint64(page))
+	case IndexHash:
+		if c.hash == nil {
+			c.hash = make(map[int64]*entry)
+		}
+		c.hash[page] = e
+		if len(c.hash) >= c.hashGrowAt {
+			c.hashGrowAt *= 2
+			c.GrewHash = true
+		}
+	}
+}
+
+func (c *Cache) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	delete(c.entries, e.page)
+	switch c.kind {
+	case IndexBTree:
+		var k [8]byte
+		binary.BigEndian.PutUint64(k[:], uint64(e.page))
+		c.tree.Delete(k[:])
+	case IndexHash:
+		delete(c.hash, e.page)
+	}
+}
+
+// Remove drops page from the cache if present.
+func (c *Cache) Remove(page int64) {
+	if e, ok := c.entries[page]; ok {
+		c.remove(e)
+	}
+}
+
+// Pin marks page non-evictable (KVell pins the append-tail page of each
+// slab so fresh appends need no read-modify-write).
+func (c *Cache) Pin(page int64) {
+	if e, ok := c.entries[page]; ok {
+		e.pinned = true
+	}
+}
+
+// Unpin clears the pin.
+func (c *Cache) Unpin(page int64) {
+	if e, ok := c.entries[page]; ok {
+		e.pinned = false
+	}
+}
+
+// PageBuf allocates a page-sized buffer (helper for cache fills).
+func PageBuf() []byte { return make([]byte, device.PageSize) }

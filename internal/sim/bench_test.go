@@ -1,0 +1,29 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw scheduler throughput (events/sec);
+// it bounds how much virtual time the harness can simulate per real second.
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New(1)
+	n := 0
+	s.Go("spinner", func(p *Proc) {
+		for n < b.N {
+			n++
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(-1); err != nil {
+		b.Fatal(err)
+	}
+	s.Close()
+}
+
+func BenchmarkStationAssign(b *testing.B) {
+	st := NewStation(6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.Assign(int64(i), 11_000)
+	}
+}

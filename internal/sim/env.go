@@ -1,0 +1,108 @@
+package sim
+
+import "kvell/internal/env"
+
+// Env adapts a simulation plus a CPU pool to the env.Env interface, so the
+// engines can run unchanged inside the simulator.
+type Env struct {
+	S    *Sim
+	CPUs *Pool
+}
+
+// NewEnv returns an env.Env backed by simulation s with cores CPU cores.
+func NewEnv(s *Sim, cores int) *Env {
+	return &Env{S: s, CPUs: NewPool(s, cores)}
+}
+
+// Now implements env.Env.
+func (e *Env) Now() env.Time { return e.S.Now() }
+
+// Go implements env.Env.
+func (e *Env) Go(name string, fn func(env.Ctx)) {
+	e.S.Go(name, func(p *Proc) { fn(&simCtx{e: e, p: p}) })
+}
+
+// NewMutex implements env.Env.
+func (e *Env) NewMutex() env.Mutex { return &simMutex{m: NewMutex(e.S)} }
+
+// NewSpinMutex implements env.Env: waiters burn CPU against the core pool.
+func (e *Env) NewSpinMutex() env.Mutex { return &simSpinMutex{m: NewSpinMutex(e.S, e.CPUs)} }
+
+type simSpinMutex struct{ m *SpinMutex }
+
+func (m *simSpinMutex) Lock(c env.Ctx) {
+	p := proc(c)
+	if p == nil {
+		if m.m.locked {
+			panic("sim: contended spin Lock from scheduler context")
+		}
+		m.m.locked = true
+		return
+	}
+	m.m.Lock(p)
+}
+
+func (m *simSpinMutex) Unlock(c env.Ctx) { m.m.Unlock() }
+
+// NewCond implements env.Env.
+func (e *Env) NewCond(m env.Mutex) env.Cond {
+	return &simCond{c: NewCond(e.S), m: m.(*simMutex)}
+}
+
+// NewQueue implements env.Env.
+func (e *Env) NewQueue() env.Queue { return &simQueue{q: NewQueue(e.S)} }
+
+// Ctx returns an env.Ctx for an existing proc (used when simulation code
+// created the proc directly).
+func (e *Env) Ctx(p *Proc) env.Ctx { return &simCtx{e: e, p: p} }
+
+type simCtx struct {
+	e *Env
+	p *Proc
+}
+
+func (c *simCtx) Now() env.Time    { return c.e.S.Now() }
+func (c *simCtx) CPU(d env.Time)   { c.e.CPUs.Use(c.p, d) }
+func (c *simCtx) Sleep(d env.Time) { c.p.Sleep(d) }
+
+func proc(c env.Ctx) *Proc {
+	if c == nil {
+		return nil
+	}
+	return c.(*simCtx).p
+}
+
+type simMutex struct{ m *Mutex }
+
+func (m *simMutex) Lock(c env.Ctx) {
+	p := proc(c)
+	if p == nil {
+		// Scheduler context (completion callback): must not contend. By the
+		// condition-variable discipline the mutex is never held across a
+		// park, so a same-instant Lock from scheduler context always wins.
+		if !m.m.TryLock() {
+			panic("sim: contended Lock from scheduler context")
+		}
+		return
+	}
+	m.m.Lock(p)
+}
+
+func (m *simMutex) Unlock(c env.Ctx) { m.m.Unlock(proc(c)) }
+
+type simCond struct {
+	c *Cond
+	m *simMutex
+}
+
+func (c *simCond) Wait(ctx env.Ctx)  { c.c.Wait(proc(ctx), c.m.m) }
+func (c *simCond) Signal(env.Ctx)    { c.c.Signal() }
+func (c *simCond) Broadcast(env.Ctx) { c.c.Broadcast() }
+
+type simQueue struct{ q *Queue }
+
+func (q *simQueue) Push(c env.Ctx, v any)            { q.q.Push(v) }
+func (q *simQueue) PopWait(c env.Ctx, max int) []any { return q.q.PopWait(proc(c), max) }
+func (q *simQueue) TryPop(c env.Ctx, max int) []any  { return q.q.TryPop(max) }
+func (q *simQueue) Close(c env.Ctx)                  { q.q.Close() }
+func (q *simQueue) Len() int                         { return q.q.Len() }

@@ -1,0 +1,329 @@
+package sim
+
+// Station is an analytic first-come-first-served multi-server queueing
+// station. It does not use procs: an arrival is assigned to the server that
+// frees up earliest, so assignment order equals arrival order. It is the
+// model used for both CPU core pools and device channel queues.
+type Station struct {
+	free []Time // per-server earliest-free time
+	busy Time   // total busy nanoseconds across servers (utilization integral)
+	ops  int64
+	// OnBusy, if set, is called for each service interval [start, end).
+	// Used to build utilization timelines.
+	OnBusy func(start, end Time)
+}
+
+// NewStation returns a station with c servers.
+func NewStation(c int) *Station {
+	if c < 1 {
+		c = 1
+	}
+	return &Station{free: make([]Time, c)}
+}
+
+// Servers returns the number of servers.
+func (st *Station) Servers() int { return len(st.free) }
+
+// BusyTime returns the total accumulated service time across all servers.
+func (st *Station) BusyTime() Time { return st.busy }
+
+// Ops returns the number of service intervals assigned so far.
+func (st *Station) Ops() int64 { return st.ops }
+
+// QueueDepth returns the number of servers that are busy at time now plus
+// nothing queued (the analytic model has no explicit queue; depth is
+// approximated by how far in the future the busiest server is booked).
+func (st *Station) busyServers(now Time) int {
+	n := 0
+	for _, f := range st.free {
+		if f > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Backlog returns how far beyond now the most-loaded server is booked.
+// It is a measure of queueing delay at the station.
+func (st *Station) Backlog(now Time) Time {
+	var max Time
+	for _, f := range st.free {
+		if f-now > max {
+			max = f - now
+		}
+	}
+	return max
+}
+
+// Assign books a service of duration d arriving at time now and returns the
+// completion time. The service starts when the earliest-free server is
+// available (FCFS).
+func (st *Station) Assign(now, d Time) (done Time) {
+	best := 0
+	for i := 1; i < len(st.free); i++ {
+		if st.free[i] < st.free[best] {
+			best = i
+		}
+	}
+	start := now
+	if st.free[best] > start {
+		start = st.free[best]
+	}
+	done = start + d
+	st.free[best] = done
+	st.busy += d
+	st.ops++
+	if st.OnBusy != nil {
+		st.OnBusy(start, done)
+	}
+	return done
+}
+
+// Pause blocks all servers until time t (used for device maintenance
+// latency spikes: in-flight and queued requests are delayed).
+func (st *Station) Pause(t Time) {
+	for i, f := range st.free {
+		if f < t {
+			st.free[i] = t
+		}
+	}
+}
+
+// Pool is a CPU core pool. Procs charge work against it with Use; when all
+// cores are busy the proc queues FCFS behind earlier work, which is how
+// engines become CPU-bound in the simulation.
+type Pool struct {
+	s  *Sim
+	st *Station
+	// Quantum bounds a single booked burst; longer bursts are split so that
+	// long-running work (e.g. compactions) time-shares with short requests
+	// instead of monopolizing a core, approximating an OS scheduler.
+	Quantum Time
+}
+
+// NewPool returns a pool of c cores in simulation s.
+func NewPool(s *Sim, c int) *Pool {
+	return &Pool{s: s, st: NewStation(c), Quantum: 200 * 1000} // 200us
+}
+
+// Station exposes the underlying station (for utilization accounting).
+func (p *Pool) Station() *Station { return p.st }
+
+// Use charges d nanoseconds of CPU work to the calling proc, blocking it
+// until the work completes.
+func (p *Pool) Use(pr *Proc, d Time) {
+	for d > 0 {
+		burst := d
+		if p.Quantum > 0 && burst > p.Quantum {
+			burst = p.Quantum
+		}
+		done := p.st.Assign(p.s.now, burst)
+		pr.SleepUntil(done)
+		d -= burst
+	}
+}
+
+// Mutex is a FIFO mutual-exclusion lock for procs. Ownership transfers
+// directly to the longest-waiting proc on unlock.
+type Mutex struct {
+	s       *Sim
+	locked  bool
+	waiters []*Proc
+	// Contended counts Lock calls that had to wait; Acquires counts all.
+	Acquires  int64
+	Contended int64
+}
+
+// NewMutex returns an unlocked mutex.
+func NewMutex(s *Sim) *Mutex { return &Mutex{s: s} }
+
+// Lock acquires m, blocking the proc if it is held.
+func (m *Mutex) Lock(p *Proc) {
+	m.Acquires++
+	if !m.locked {
+		m.locked = true
+		return
+	}
+	m.Contended++
+	m.waiters = append(m.waiters, p)
+	p.park()
+	// Ownership was transferred to us by Unlock.
+}
+
+// TryLock acquires m if it is free and reports whether it did.
+func (m *Mutex) TryLock() bool {
+	if m.locked {
+		return false
+	}
+	m.Acquires++
+	m.locked = true
+	return true
+}
+
+// Unlock releases m. If procs are waiting, ownership passes to the first.
+func (m *Mutex) Unlock(p *Proc) {
+	if !m.locked {
+		panic("sim: unlock of unlocked mutex")
+	}
+	if len(m.waiters) > 0 {
+		next := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.s.wake(next) // stays locked; next proc now owns it
+		return
+	}
+	m.locked = false
+}
+
+// SpinMutex is a lock whose waiters burn CPU while waiting (the
+// sched_yield/busy-wait pattern the paper profiles in WiredTiger). Waiting
+// cost is charged to the pool, so heavy contention consumes simulated cores.
+type SpinMutex struct {
+	s    *Sim
+	pool *Pool
+	// SpinQuantum is the CPU burst charged per failed acquisition attempt.
+	SpinQuantum Time
+	locked      bool
+	// SpinTime accumulates total CPU burned waiting.
+	SpinTime  Time
+	Acquires  int64
+	Contended int64
+}
+
+// NewSpinMutex returns a spin lock that charges waiting time to pool.
+func NewSpinMutex(s *Sim, pool *Pool) *SpinMutex {
+	return &SpinMutex{s: s, pool: pool, SpinQuantum: 2 * 1000} // 2us
+}
+
+// Lock acquires the lock, burning CPU in SpinQuantum slices while it is held
+// by another proc.
+func (m *SpinMutex) Lock(p *Proc) {
+	m.Acquires++
+	if !m.locked {
+		m.locked = true
+		return
+	}
+	m.Contended++
+	for m.locked {
+		m.pool.Use(p, m.SpinQuantum)
+		m.SpinTime += m.SpinQuantum
+	}
+	m.locked = true
+}
+
+// Unlock releases the lock.
+func (m *SpinMutex) Unlock() {
+	if !m.locked {
+		panic("sim: unlock of unlocked spin mutex")
+	}
+	m.locked = false
+}
+
+// Cond is a condition variable for procs. The usual discipline applies:
+// check the predicate in a loop around Wait. Signal/Broadcast may be called
+// from scheduler context (completion callbacks).
+type Cond struct {
+	s       *Sim
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable.
+func NewCond(s *Sim) *Cond { return &Cond{s: s} }
+
+// Wait parks the proc until a Signal or Broadcast. If m is non-nil it is
+// released while waiting and re-acquired before returning.
+func (c *Cond) Wait(p *Proc, m *Mutex) {
+	c.waiters = append(c.waiters, p)
+	if m != nil {
+		m.Unlock(p)
+	}
+	p.park()
+	if m != nil {
+		m.Lock(p)
+	}
+}
+
+// Signal wakes the longest-waiting proc, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.s.wake(p)
+}
+
+// Broadcast wakes all waiting procs.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		c.s.wake(p)
+	}
+	c.waiters = nil
+}
+
+// Queue is an unbounded FIFO for passing work between procs.
+type Queue struct {
+	s       *Sim
+	items   []any
+	waiters []*Proc
+	closed  bool
+	// Pushes counts total items ever pushed (for stats).
+	Pushes int64
+}
+
+// NewQueue returns an empty open queue.
+func NewQueue(s *Sim) *Queue { return &Queue{s: s} }
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Push appends v and wakes one waiter.
+func (q *Queue) Push(v any) {
+	if q.closed {
+		panic("sim: push to closed queue")
+	}
+	q.items = append(q.items, v)
+	q.Pushes++
+	if len(q.waiters) > 0 {
+		p := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.s.wake(p)
+	}
+}
+
+// Close marks the queue closed and wakes all waiters. Queued items remain
+// poppable; PopWait returns nil once the queue is closed and empty.
+func (q *Queue) Close() {
+	q.closed = true
+	for _, p := range q.waiters {
+		q.s.wake(p)
+	}
+	q.waiters = nil
+}
+
+// TryPop removes and returns up to max items without blocking.
+func (q *Queue) TryPop(max int) []any {
+	if len(q.items) == 0 || max <= 0 {
+		return nil
+	}
+	n := max
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	out := make([]any, n)
+	copy(out, q.items[:n])
+	q.items = append(q.items[:0], q.items[n:]...)
+	return out
+}
+
+// PopWait removes and returns up to max items, blocking the proc until at
+// least one is available. It returns nil if the queue is closed and empty.
+func (q *Queue) PopWait(p *Proc, max int) []any {
+	for len(q.items) == 0 {
+		if q.closed {
+			return nil
+		}
+		q.waiters = append(q.waiters, p)
+		p.park()
+	}
+	return q.TryPop(max)
+}

@@ -1,0 +1,223 @@
+// Package sim is a deterministic discrete-event simulation kernel.
+//
+// A Sim owns a virtual clock and an event queue. Simulated threads ("procs")
+// are real goroutines, but exactly one of them runs at any moment: control is
+// handed between the scheduler and procs over unbuffered channels, so the
+// simulation is sequentially consistent and deterministic, and passes the
+// race detector by construction.
+//
+// Two kinds of events exist: proc wake-ups, and plain functions that run on
+// the scheduler itself (used for I/O completions; they must not block).
+//
+// The package also provides the synchronization and queueing primitives the
+// engines are built from: FCFS multi-server stations (CPU cores, device
+// channels), mutexes, spin-mutexes that burn simulated CPU while waiting,
+// condition variables and FIFO queues.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+)
+
+// Time is virtual time in nanoseconds since the start of the simulation.
+type Time = int64
+
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among simultaneous events
+	proc *Proc  // resume this proc ...
+	fn   func() // ... or run this function on the scheduler
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)    { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)      { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (x any)    { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }
+func (h eventHeap) Peek() *event     { return h[0] }
+func (h *eventHeap) PushEv(e *event) { heap.Push(h, e) }
+func (h *eventHeap) PopEv() *event   { return heap.Pop(h).(*event) }
+
+// errShutdown unwinds proc goroutines when the simulation is closed.
+type shutdownError struct{}
+
+func (shutdownError) Error() string { return "sim: shutdown" }
+
+var errShutdown = shutdownError{}
+
+// Sim is a discrete-event simulation.
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	yield  chan struct{} // procs hand control back to the scheduler here
+	parked map[*Proc]struct{}
+	closed bool
+	failed error
+	rng    *rand.Rand
+	live   int // procs started and not yet finished
+}
+
+// New returns an empty simulation whose random source is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{
+		yield:  make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source. It must only be
+// used from simulation context (procs or scheduled functions).
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Live reports the number of procs that have been started and not finished.
+func (s *Sim) Live() int { return s.live }
+
+func (s *Sim) schedule(at Time, p *Proc, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	s.events.PushEv(&event{at: at, seq: s.seq, proc: p, fn: fn})
+}
+
+// At schedules fn to run on the scheduler at time at (clamped to now). fn
+// must not block or park; it may wake procs and schedule further events.
+func (s *Sim) At(at Time, fn func()) { s.schedule(at, nil, fn) }
+
+// Go starts a new proc running fn, beginning at the current virtual time.
+func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.live++
+	go func() {
+		<-p.resume
+		defer func() {
+			s.live--
+			if r := recover(); r != nil {
+				if _, ok := r.(shutdownError); !ok && s.failed == nil {
+					s.failed = fmt.Errorf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack())
+				}
+			}
+			s.yield <- struct{}{}
+		}()
+		if !s.closed {
+			fn(p)
+		}
+	}()
+	s.schedule(s.now, p, nil)
+	return p
+}
+
+// resumeProc hands control to p and waits until it parks or finishes.
+func (s *Sim) resumeProc(p *Proc) {
+	delete(s.parked, p)
+	p.resume <- struct{}{}
+	<-s.yield
+}
+
+// wake schedules p to resume at the current time. It is the primitive used
+// by resources and completion callbacks.
+func (s *Sim) wake(p *Proc) { s.schedule(s.now, p, nil) }
+
+// Run processes events until the queue is empty or virtual time would pass
+// until (use until < 0 for no limit). It returns the first proc panic, if
+// any. Run may be called repeatedly to advance a simulation in stages.
+func (s *Sim) Run(until Time) error {
+	for len(s.events) > 0 && s.failed == nil {
+		if until >= 0 && s.events.Peek().at > until {
+			s.now = until
+			break
+		}
+		e := s.events.PopEv()
+		s.now = e.at
+		switch {
+		case e.fn != nil:
+			e.fn()
+		case e.proc != nil:
+			s.resumeProc(e.proc)
+		}
+	}
+	if until >= 0 && s.now < until && s.failed == nil {
+		s.now = until
+	}
+	return s.failed
+}
+
+// Close terminates the simulation: every parked proc is resumed with a
+// shutdown panic so its goroutine exits. Pending events are discarded.
+// It returns the first proc failure observed, if any.
+func (s *Sim) Close() error {
+	s.closed = true
+	// Drain scheduled proc wake-ups first so no proc is resumed twice.
+	for len(s.events) > 0 {
+		e := s.events.PopEv()
+		if e.proc != nil {
+			s.resumeProc(e.proc)
+		}
+	}
+	for len(s.parked) > 0 {
+		for p := range s.parked {
+			s.resumeProc(p)
+			break // map mutated; restart iteration
+		}
+	}
+	return s.failed
+}
+
+// Proc is a simulated thread.
+type Proc struct {
+	sim    *Sim
+	name   string
+	resume chan struct{}
+}
+
+// Name returns the proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation this proc belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// park suspends the proc until something wakes it. The caller must have
+// arranged a wake-up (a scheduled event or registration with a resource).
+func (p *Proc) park() {
+	s := p.sim
+	s.parked[p] = struct{}{}
+	s.yield <- struct{}{}
+	<-p.resume
+	if s.closed {
+		panic(errShutdown)
+	}
+}
+
+// Sleep suspends the proc for d nanoseconds (d <= 0 yields to simultaneous
+// events and resumes at the same virtual time).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.sim.schedule(p.sim.now+d, p, nil)
+	p.park()
+}
+
+// SleepUntil suspends the proc until virtual time t.
+func (p *Proc) SleepUntil(t Time) {
+	p.sim.schedule(t, p, nil)
+	p.park()
+}

@@ -1,0 +1,354 @@
+// Package slab implements KVell's on-disk layout (§5.2): items of similar
+// size share a file (a "slab") made of fixed-stride slots, accessed at 4KB
+// page granularity. Items at most one page large are updated in place; each
+// record carries a timestamp, key size and value size so that slabs can be
+// scanned to rebuild the in-memory index after a crash. Deleted slots hold
+// tombstones which may chain to further free slots (see package freelist).
+//
+// This package is pure layout: encoding, decoding and slot-to-page
+// arithmetic. All I/O is done by the engine that owns the slab.
+package slab
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"kvell/internal/device"
+	"kvell/internal/freelist"
+)
+
+// Record flags.
+const (
+	flagEmpty     = 0x00
+	flagLive      = 0x01
+	flagTombstone = 0x02
+	flagCont      = 0x03 // continuation page of a multi-page item
+)
+
+// HeaderSize is the per-record (and, for multi-page items, per-page)
+// header: flags(1) + timestamp(8) + ksize(2) + vsize(4).
+const HeaderSize = 15
+
+// tombstone records additionally carry a chain pointer after the header.
+const tombstoneSize = HeaderSize + 8
+
+// PagePayload is the usable bytes per page of a multi-page slot.
+const PagePayload = device.PageSize - HeaderSize
+
+// DefaultClasses are the slot strides (bytes) of the standard size classes.
+// Sub-page strides divide the page size exactly so slots never straddle
+// pages; larger strides are whole numbers of pages.
+var DefaultClasses = []int{64, 128, 256, 512, 1024, 2048, 4096, 2 * 4096, 4 * 4096, 8 * 4096}
+
+// ClassFor returns the index in classes of the smallest stride that fits an
+// item with the given key and value lengths, or -1 if none fits.
+func ClassFor(classes []int, klen, vlen int) int {
+	need := HeaderSize + klen + vlen
+	for i, stride := range classes {
+		if stride <= device.PageSize {
+			if need <= stride {
+				return i
+			}
+			continue
+		}
+		pages := stride / device.PageSize
+		if klen+vlen <= pages*PagePayload {
+			return i
+		}
+	}
+	return -1
+}
+
+// Item is a decoded live record.
+type Item struct {
+	Timestamp uint64
+	Key       []byte
+	Value     []byte
+}
+
+// Slab manages slot allocation and layout for one size class of one worker.
+type Slab struct {
+	Stride     int
+	ClassIndex int
+
+	slotsPerPage int   // 0 for multi-page strides
+	pagesPerSlot int64 // 1 for sub-page strides
+
+	alloc       *device.Allocator
+	extentPages int64
+	extents     []int64 // base page of each extent
+
+	nextSlot uint64 // append cursor
+	Free     *freelist.List
+
+	// Live counts live items (maintained by the owning engine).
+	Live int64
+}
+
+// New returns a slab of the given stride drawing space from alloc in
+// extents of extentPages pages. freeHeads is the free list's N.
+func New(classIndex, stride int, alloc *device.Allocator, extentPages int64, freeHeads int) *Slab {
+	if stride < tombstoneSize {
+		panic(fmt.Sprintf("slab: stride %d below minimum %d", stride, tombstoneSize))
+	}
+	s := &Slab{
+		Stride:      stride,
+		ClassIndex:  classIndex,
+		alloc:       alloc,
+		extentPages: extentPages,
+		Free:        freelist.New(freeHeads),
+	}
+	if stride <= device.PageSize {
+		if device.PageSize%stride != 0 {
+			panic(fmt.Sprintf("slab: stride %d does not divide page size", stride))
+		}
+		s.slotsPerPage = device.PageSize / stride
+		s.pagesPerSlot = 1
+	} else {
+		if stride%device.PageSize != 0 {
+			panic(fmt.Sprintf("slab: multi-page stride %d not page-aligned", stride))
+		}
+		s.pagesPerSlot = int64(stride / device.PageSize)
+		if s.extentPages%s.pagesPerSlot != 0 {
+			s.extentPages += s.pagesPerSlot - s.extentPages%s.pagesPerSlot
+		}
+	}
+	return s
+}
+
+// MultiPage reports whether slots span multiple pages (append-only update
+// discipline per §5.2).
+func (s *Slab) MultiPage() bool { return s.pagesPerSlot > 1 }
+
+// PagesPerSlot returns the number of pages a slot occupies.
+func (s *Slab) PagesPerSlot() int64 { return s.pagesPerSlot }
+
+// Slots returns the append cursor (total slots ever allocated fresh).
+func (s *Slab) Slots() uint64 { return s.nextSlot }
+
+// slotsPerExtent returns how many slots fit in one extent.
+func (s *Slab) slotsPerExtent() uint64 {
+	if s.slotsPerPage > 0 {
+		return uint64(s.extentPages) * uint64(s.slotsPerPage)
+	}
+	return uint64(s.extentPages / s.pagesPerSlot)
+}
+
+// SlotPage returns the first disk page of slot, growing the slab if the
+// slot lies in an extent not yet allocated.
+func (s *Slab) SlotPage(slot uint64) int64 {
+	spe := s.slotsPerExtent()
+	ext := int(slot / spe)
+	for ext >= len(s.extents) {
+		s.extents = append(s.extents, s.alloc.Alloc(s.extentPages))
+	}
+	within := int64(slot % spe)
+	if s.slotsPerPage > 0 {
+		return s.extents[ext] + within/int64(s.slotsPerPage)
+	}
+	return s.extents[ext] + within*s.pagesPerSlot
+}
+
+// SlotOffset returns the byte offset of slot within its first page.
+func (s *Slab) SlotOffset(slot uint64) int {
+	if s.slotsPerPage == 0 {
+		return 0
+	}
+	return int(slot%uint64(s.slotsPerPage)) * s.Stride
+}
+
+// Alloc returns a slot to store a new item: a freed slot when one is known,
+// otherwise a fresh append slot. reused reports which.
+func (s *Slab) Alloc() (slot uint64, reused bool) {
+	if slot, ok := s.Free.Pop(); ok {
+		return slot, true
+	}
+	slot = s.nextSlot
+	s.nextSlot++
+	return slot, false
+}
+
+// AppendPageFresh reports whether page p (a first page of slot) had never
+// been written before this slot was appended — i.e. whether the engine may
+// skip the read of a read-modify-write because every byte of the page is
+// new. True only when slot is the first slot of its page.
+func (s *Slab) AppendPageFresh(slot uint64) bool {
+	if s.slotsPerPage <= 1 {
+		return true
+	}
+	return slot%uint64(s.slotsPerPage) == 0
+}
+
+// EncodeItem writes a live record for (key, value) with timestamp ts into
+// buf, which must be exactly one stride long (sub-page classes) or
+// PagesPerSlot whole pages (multi-page classes).
+func (s *Slab) EncodeItem(buf []byte, ts uint64, key, value []byte) error {
+	if s.slotsPerPage > 0 {
+		if len(buf) != s.Stride {
+			return fmt.Errorf("slab: encode buffer %d, want stride %d", len(buf), s.Stride)
+		}
+		if HeaderSize+len(key)+len(value) > s.Stride {
+			return fmt.Errorf("slab: item %dB too large for stride %d", HeaderSize+len(key)+len(value), s.Stride)
+		}
+		putHeader(buf, flagLive, ts, len(key), len(value))
+		copy(buf[HeaderSize:], key)
+		copy(buf[HeaderSize+len(key):], value)
+		// Zero the tail so stale bytes never masquerade as data.
+		for i := HeaderSize + len(key) + len(value); i < s.Stride; i++ {
+			buf[i] = 0
+		}
+		return nil
+	}
+	if int64(len(buf)) != s.pagesPerSlot*device.PageSize {
+		return fmt.Errorf("slab: encode buffer %d, want %d pages", len(buf), s.pagesPerSlot)
+	}
+	if len(key)+len(value) > int(s.pagesPerSlot)*PagePayload {
+		return fmt.Errorf("slab: item too large for %d-page slot", s.pagesPerSlot)
+	}
+	data := make([]byte, 0, len(key)+len(value))
+	data = append(data, key...)
+	data = append(data, value...)
+	for p := int64(0); p < s.pagesPerSlot; p++ {
+		pg := buf[p*device.PageSize : (p+1)*device.PageSize]
+		flag := byte(flagCont)
+		if p == 0 {
+			flag = flagLive
+		}
+		putHeader(pg, flag, ts, len(key), len(value))
+		chunk := data
+		if len(chunk) > PagePayload {
+			chunk = chunk[:PagePayload]
+		}
+		copy(pg[HeaderSize:], chunk)
+		for i := HeaderSize + len(chunk); i < device.PageSize; i++ {
+			pg[i] = 0
+		}
+		data = data[len(chunk):]
+	}
+	return nil
+}
+
+// EncodeTombstone writes a tombstone with timestamp ts into the slot's
+// first stride/page in buf. chainTo is the next free slot in this slot's
+// on-disk stack (freelist.NoSlot for none).
+func (s *Slab) EncodeTombstone(buf []byte, ts uint64, chainTo uint64) {
+	putHeader(buf, flagTombstone, ts, 0, 0)
+	binary.LittleEndian.PutUint64(buf[HeaderSize:], chainTo)
+}
+
+func putHeader(buf []byte, flag byte, ts uint64, klen, vlen int) {
+	buf[0] = flag
+	binary.LittleEndian.PutUint64(buf[1:9], ts)
+	binary.LittleEndian.PutUint16(buf[9:11], uint16(klen))
+	binary.LittleEndian.PutUint32(buf[11:15], uint32(vlen))
+}
+
+// Decoded is the result of decoding one slot.
+type Decoded struct {
+	Kind    Kind
+	Item    Item   // Kind == Live
+	ChainTo uint64 // Kind == Tombstone; freelist.NoSlot when unchained
+}
+
+// Kind classifies a slot's content.
+type Kind uint8
+
+// Slot content kinds.
+const (
+	Empty Kind = iota
+	Live
+	Tombstone
+	Corrupt // partial multi-page write (timestamp mismatch across pages)
+)
+
+// ErrBuf is returned for malformed buffers.
+var ErrBuf = errors.New("slab: bad decode buffer")
+
+// DecodeSlot decodes the slot contents from buf (one stride for sub-page
+// classes; PagesPerSlot pages for multi-page classes).
+func (s *Slab) DecodeSlot(buf []byte) (Decoded, error) {
+	if s.slotsPerPage > 0 {
+		if len(buf) != s.Stride {
+			return Decoded{}, ErrBuf
+		}
+		switch buf[0] {
+		case flagEmpty:
+			return Decoded{Kind: Empty}, nil
+		case flagTombstone:
+			return Decoded{
+				Kind:    Tombstone,
+				ChainTo: binary.LittleEndian.Uint64(buf[HeaderSize : HeaderSize+8]),
+			}, nil
+		case flagLive:
+			ts := binary.LittleEndian.Uint64(buf[1:9])
+			klen := int(binary.LittleEndian.Uint16(buf[9:11]))
+			vlen := int(binary.LittleEndian.Uint32(buf[11:15]))
+			if HeaderSize+klen+vlen > s.Stride {
+				return Decoded{Kind: Corrupt}, nil
+			}
+			k := append([]byte(nil), buf[HeaderSize:HeaderSize+klen]...)
+			v := append([]byte(nil), buf[HeaderSize+klen:HeaderSize+klen+vlen]...)
+			return Decoded{Kind: Live, Item: Item{Timestamp: ts, Key: k, Value: v}}, nil
+		default:
+			return Decoded{Kind: Corrupt}, nil
+		}
+	}
+	if int64(len(buf)) != s.pagesPerSlot*device.PageSize {
+		return Decoded{}, ErrBuf
+	}
+	switch buf[0] {
+	case flagEmpty:
+		return Decoded{Kind: Empty}, nil
+	case flagTombstone:
+		return Decoded{
+			Kind:    Tombstone,
+			ChainTo: binary.LittleEndian.Uint64(buf[HeaderSize : HeaderSize+8]),
+		}, nil
+	case flagLive:
+		ts := binary.LittleEndian.Uint64(buf[1:9])
+		klen := int(binary.LittleEndian.Uint16(buf[9:11]))
+		vlen := int(binary.LittleEndian.Uint32(buf[11:15]))
+		total := klen + vlen
+		if total > int(s.pagesPerSlot)*PagePayload {
+			return Decoded{Kind: Corrupt}, nil
+		}
+		data := make([]byte, 0, total)
+		for p := int64(0); p < s.pagesPerSlot && len(data) < total; p++ {
+			pg := buf[p*device.PageSize : (p+1)*device.PageSize]
+			if p > 0 {
+				// A multi-page item is only valid if every continuation
+				// page carries the same timestamp (§5.6: partial writes
+				// after a crash are discarded via these headers).
+				if pg[0] != flagCont || binary.LittleEndian.Uint64(pg[1:9]) != ts {
+					return Decoded{Kind: Corrupt}, nil
+				}
+			}
+			n := total - len(data)
+			if n > PagePayload {
+				n = PagePayload
+			}
+			data = append(data, pg[HeaderSize:HeaderSize+n]...)
+		}
+		return Decoded{Kind: Live, Item: Item{Timestamp: ts, Key: data[:klen:klen], Value: data[klen:]}}, nil
+	default:
+		return Decoded{Kind: Corrupt}, nil
+	}
+}
+
+// ExtentCount returns how many extents are allocated.
+func (s *Slab) ExtentCount() int { return len(s.extents) }
+
+// Extents returns the base pages of all allocated extents (recovery scans
+// read them sequentially).
+func (s *Slab) Extents() []int64 { return s.extents }
+
+// ExtentPages returns the size of each extent in pages.
+func (s *Slab) ExtentPages() int64 { return s.extentPages }
+
+// RestoreAppendCursor sets the append cursor (used by recovery after
+// scanning existing extents).
+func (s *Slab) RestoreAppendCursor(next uint64) { s.nextSlot = next }
+
+// RestoreExtents sets the extent table (used by recovery).
+func (s *Slab) RestoreExtents(bases []int64) { s.extents = bases }

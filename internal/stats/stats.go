@@ -1,0 +1,352 @@
+// Package stats provides the measurement primitives used across the
+// benchmark harness: log-bucketed latency histograms, bucketed time series
+// (throughput timelines) and busy-interval utilization timelines.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kvell/internal/env"
+)
+
+// Hist is a latency histogram with logarithmically spaced buckets (about 5%
+// relative resolution), supporting percentile queries up to the exact
+// maximum. The zero value is not usable; call NewHist.
+type Hist struct {
+	counts []int64
+	n      int64
+	sum    float64
+	max    env.Time
+	min    env.Time
+}
+
+// growth is the bucket growth factor; bucket i covers [growth^i, growth^(i+1)).
+const growth = 1.05
+
+var logGrowth = math.Log(growth)
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist {
+	return &Hist{counts: make([]int64, 512), min: math.MaxInt64}
+}
+
+func bucketOf(v env.Time) int {
+	if v < 1 {
+		return 0
+	}
+	b := int(math.Log(float64(v)) / logGrowth)
+	if b < 0 {
+		b = 0
+	}
+	if b > 511 {
+		b = 511
+	}
+	return b
+}
+
+// Add records one sample.
+func (h *Hist) Add(v env.Time) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += float64(v)
+	if v > h.max {
+		h.max = v
+	}
+	if v < h.min {
+		h.min = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Hist) Count() int64 { return h.n }
+
+// Max returns the largest recorded sample (0 if empty).
+func (h *Hist) Max() env.Time {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Min returns the smallest recorded sample (0 if empty).
+func (h *Hist) Min() env.Time {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Mean returns the arithmetic mean (0 if empty).
+func (h *Hist) Mean() env.Time {
+	if h.n == 0 {
+		return 0
+	}
+	return env.Time(h.sum / float64(h.n))
+}
+
+// Percentile returns the value at quantile p in [0,1]. The p==1 result is
+// the exact maximum.
+func (h *Hist) Percentile(p float64) env.Time {
+	if h.n == 0 {
+		return 0
+	}
+	if p >= 1 {
+		return h.max
+	}
+	target := int64(p * float64(h.n))
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			// Upper edge of bucket i.
+			v := env.Time(math.Pow(growth, float64(i+1)))
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds all samples of other into h.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+	if other.min < h.min {
+		h.min = other.min
+	}
+}
+
+// String summarizes the distribution.
+func (h *Hist) String() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p99=%s max=%s",
+		h.n, FmtDur(h.Mean()), FmtDur(h.Percentile(0.50)), FmtDur(h.Percentile(0.99)), FmtDur(h.Max()))
+}
+
+// Timeline accumulates a value into fixed-width time buckets; used for
+// per-second throughput and bandwidth series.
+type Timeline struct {
+	Width   env.Time // bucket width
+	buckets []float64
+}
+
+// NewTimeline returns a timeline with the given bucket width.
+func NewTimeline(width env.Time) *Timeline {
+	if width <= 0 {
+		width = env.Second
+	}
+	return &Timeline{Width: width}
+}
+
+// Add accumulates v into the bucket containing time t.
+func (tl *Timeline) Add(t env.Time, v float64) {
+	if t < 0 {
+		t = 0
+	}
+	b := int(t / tl.Width)
+	for b >= len(tl.buckets) {
+		tl.buckets = append(tl.buckets, 0)
+	}
+	tl.buckets[b] += v
+}
+
+// Buckets returns the raw accumulated values per bucket.
+func (tl *Timeline) Buckets() []float64 { return tl.buckets }
+
+// Rates returns per-second rates (bucket value divided by bucket width).
+func (tl *Timeline) Rates() []float64 {
+	out := make([]float64, len(tl.buckets))
+	scale := float64(env.Second) / float64(tl.Width)
+	for i, v := range tl.buckets {
+		out[i] = v * scale
+	}
+	return out
+}
+
+// MinMax returns the smallest and largest per-second rate, ignoring the
+// first skip buckets (ramp-up) and any trailing zero bucket.
+func (tl *Timeline) MinMax(skip int) (min, max float64) {
+	r := tl.Rates()
+	if len(r) > 0 {
+		r = r[:len(r)-1] // last bucket is usually partial
+	}
+	if skip < len(r) {
+		r = r[skip:]
+	}
+	if len(r) == 0 {
+		return 0, 0
+	}
+	min, max = r[0], r[0]
+	for _, v := range r {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Util accumulates busy intervals into fixed-width buckets and reports the
+// busy fraction per bucket; used for CPU and device utilization timelines.
+type Util struct {
+	Width    env.Time
+	Capacity float64 // e.g. number of cores or channels
+	busy     []float64
+}
+
+// NewUtil returns a utilization timeline; capacity is the number of
+// servers so that fractions are normalized to [0,1].
+func NewUtil(width env.Time, capacity int) *Util {
+	if width <= 0 {
+		width = env.Second
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Util{Width: width, Capacity: float64(capacity)}
+}
+
+// AddBusy records a busy interval [start, end) on one server.
+func (u *Util) AddBusy(start, end env.Time) {
+	if end <= start {
+		return
+	}
+	for start < end {
+		b := int(start / u.Width)
+		bEnd := env.Time(b+1) * u.Width
+		if bEnd > end {
+			bEnd = end
+		}
+		for b >= len(u.busy) {
+			u.busy = append(u.busy, 0)
+		}
+		u.busy[b] += float64(bEnd - start)
+		start = bEnd
+	}
+}
+
+// Fractions returns the per-bucket busy fraction in [0,1].
+func (u *Util) Fractions() []float64 {
+	out := make([]float64, len(u.busy))
+	denom := float64(u.Width) * u.Capacity
+	for i, v := range u.busy {
+		out[i] = v / denom
+	}
+	return out
+}
+
+// MeanFraction returns the average utilization over buckets [skip, end).
+func (u *Util) MeanFraction(skip int) float64 {
+	f := u.Fractions()
+	if skip >= len(f) {
+		return 0
+	}
+	f = f[skip:]
+	var s float64
+	for _, v := range f {
+		s += v
+	}
+	if len(f) == 0 {
+		return 0
+	}
+	return s / float64(len(f))
+}
+
+// FmtDur renders a nanosecond duration in human units.
+func FmtDur(d env.Time) string {
+	switch {
+	case d >= env.Second:
+		return fmt.Sprintf("%.2fs", float64(d)/float64(env.Second))
+	case d >= env.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(env.Millisecond))
+	case d >= env.Microsecond:
+		return fmt.Sprintf("%.1fus", float64(d)/float64(env.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", d)
+	}
+}
+
+// FmtRate renders an operations-per-second rate compactly (e.g. 420K, 3.8M).
+func FmtRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.2gM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.3gK", r/1e3)
+	default:
+		return fmt.Sprintf("%.3g", r)
+	}
+}
+
+// FmtBytesRate renders a bytes-per-second rate (e.g. 2.0GB/s).
+func FmtBytesRate(r float64) string {
+	switch {
+	case r >= 1<<30:
+		return fmt.Sprintf("%.2fGB/s", r/(1<<30))
+	case r >= 1<<20:
+		return fmt.Sprintf("%.1fMB/s", r/(1<<20))
+	case r >= 1<<10:
+		return fmt.Sprintf("%.1fKB/s", r/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB/s", r)
+	}
+}
+
+// Median returns the median of xs (0 if empty). xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return cp[len(cp)/2]
+}
+
+// MaxTimeline tracks the maximum of a value per fixed-width time bucket
+// (e.g. worst request latency per second, Figure 2).
+type MaxTimeline struct {
+	Width   env.Time
+	buckets []float64
+}
+
+// NewMaxTimeline returns a max-timeline with the given bucket width.
+func NewMaxTimeline(width env.Time) *MaxTimeline {
+	if width <= 0 {
+		width = env.Second
+	}
+	return &MaxTimeline{Width: width}
+}
+
+// Add records v at time t, keeping the per-bucket maximum.
+func (tl *MaxTimeline) Add(t env.Time, v float64) {
+	if t < 0 {
+		t = 0
+	}
+	b := int(t / tl.Width)
+	for b >= len(tl.buckets) {
+		tl.buckets = append(tl.buckets, 0)
+	}
+	if v > tl.buckets[b] {
+		tl.buckets[b] = v
+	}
+}
+
+// Buckets returns the per-bucket maxima.
+func (tl *MaxTimeline) Buckets() []float64 { return tl.buckets }

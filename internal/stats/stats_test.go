@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kvell/internal/env"
+)
+
+func TestHistPercentiles(t *testing.T) {
+	h := NewHist()
+	for i := 1; i <= 1000; i++ {
+		h.Add(env.Time(i * 1000))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1_000_000 || h.Min() != 1000 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	p50 := h.Percentile(0.5)
+	if p50 < 450_000 || p50 > 560_000 {
+		t.Fatalf("p50 = %d, want ~500us", p50)
+	}
+	p99 := h.Percentile(0.99)
+	if p99 < 940_000 || p99 > 1_050_000 {
+		t.Fatalf("p99 = %d", p99)
+	}
+	if h.Percentile(1.0) != h.Max() {
+		t.Fatal("p100 != max")
+	}
+	mean := h.Mean()
+	if mean < 490_000 || mean > 510_000 {
+		t.Fatalf("mean = %d", mean)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b := NewHist(), NewHist()
+	a.Add(100)
+	b.Add(1_000_000)
+	a.Merge(b)
+	if a.Count() != 2 || a.Max() != 1_000_000 || a.Min() != 100 {
+		t.Fatalf("merge: %s", a)
+	}
+	a.Merge(nil) // no-op
+}
+
+func TestHistPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := NewHist()
+		for i := 0; i < 500; i++ {
+			h.Add(env.Time(r.Intn(10_000_000)))
+		}
+		prev := env.Time(0)
+		for _, p := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Percentile(1.0) == h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineRates(t *testing.T) {
+	tl := NewTimeline(env.Second)
+	for i := 0; i < 10; i++ {
+		tl.Add(env.Time(i)*100*env.Millisecond, 1) // 10 events in second 0
+	}
+	tl.Add(env.Second+1, 5)
+	rates := tl.Rates()
+	if len(rates) != 2 || rates[0] != 10 || rates[1] != 5 {
+		t.Fatalf("rates = %v", rates)
+	}
+	min, max := tl.MinMax(0)
+	// The last (partial) bucket is dropped: only bucket 0 remains.
+	if min != 10 || max != 10 {
+		t.Fatalf("minmax = %v,%v", min, max)
+	}
+}
+
+func TestUtilFractions(t *testing.T) {
+	u := NewUtil(env.Second, 2) // 2 servers
+	u.AddBusy(0, env.Second)    // one server busy all of second 0
+	u.AddBusy(env.Second/2, env.Second+env.Second/2)
+	f := u.Fractions()
+	if len(f) != 2 {
+		t.Fatalf("buckets = %d", len(f))
+	}
+	if f[0] != 0.75 { // 1s + 0.5s busy of 2s capacity
+		t.Fatalf("bucket0 = %f", f[0])
+	}
+	if f[1] != 0.25 {
+		t.Fatalf("bucket1 = %f", f[1])
+	}
+	if m := u.MeanFraction(0); m != 0.5 {
+		t.Fatalf("mean = %f", m)
+	}
+}
+
+func TestUtilSpansBuckets(t *testing.T) {
+	u := NewUtil(env.Second, 1)
+	u.AddBusy(env.Second/2, 2*env.Second+env.Second/2) // spans 3 buckets
+	f := u.Fractions()
+	if len(f) != 3 || f[0] != 0.5 || f[1] != 1.0 || f[2] != 0.5 {
+		t.Fatalf("fractions = %v", f)
+	}
+}
+
+func TestMaxTimeline(t *testing.T) {
+	m := NewMaxTimeline(env.Second)
+	m.Add(100, 5)
+	m.Add(200, 3)
+	m.Add(env.Second+1, 9)
+	b := m.Buckets()
+	if len(b) != 2 || b[0] != 5 || b[1] != 9 {
+		t.Fatalf("buckets = %v", b)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{FmtDur(500), "500ns"},
+		{FmtDur(1500), "1.5us"},
+		{FmtDur(2 * env.Millisecond), "2.0ms"},
+		{FmtDur(3 * env.Second), "3.00s"},
+		{FmtRate(420_000), "420K"},
+		{FmtRate(3_800_000), "3.8M"},
+		{FmtRate(12), "12"},
+		{FmtBytesRate(2 << 30), "2.00GB/s"},
+		{FmtBytesRate(5 << 20), "5.0MB/s"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median = %f", m)
+	}
+	if m := Median(nil); m != 0 {
+		t.Fatalf("median(nil) = %f", m)
+	}
+	// Input must not be mutated.
+	xs := []float64{9, 1, 5}
+	Median(xs)
+	if xs[0] != 9 {
+		t.Fatal("median mutated input")
+	}
+}

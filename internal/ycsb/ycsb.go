@@ -1,0 +1,231 @@
+// Package ycsb generates the YCSB core workloads A-F (Cooper et al., SoCC
+// 2010) used throughout the paper's evaluation (Table 4):
+//
+//	A  write-intensive: 50% updates, 50% reads
+//	B  read-intensive:   5% updates, 95% reads
+//	C  read-only:       100% reads
+//	D  read-latest:      5% inserts, 95% reads (skewed to recent keys)
+//	E  scan-intensive:   5% inserts, 95% scans (avg length 50)
+//	F  50% read-modify-write, 50% reads
+//
+// Key-access distributions: uniform, scrambled Zipfian (theta = 0.99, the
+// YCSB default) and latest. Item size is configurable; the paper uses 1KB
+// records for the main experiments and 64B-4KB for Figure 10.
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+
+	"kvell/internal/kv"
+	"kvell/internal/slab"
+)
+
+// Distribution selects how record numbers are drawn.
+type Distribution uint8
+
+// Distributions.
+const (
+	Uniform Distribution = iota
+	Zipfian
+	Latest
+)
+
+// String names the distribution.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipfian:
+		return "zipfian"
+	case Latest:
+		return "latest"
+	default:
+		return "?"
+	}
+}
+
+// Workload is an operation mix.
+type Workload struct {
+	Name      string
+	ReadPct   int
+	UpdatePct int
+	InsertPct int
+	ScanPct   int
+	RMWPct    int
+	// MaxScanLen: scan lengths are uniform in [1, MaxScanLen] (YCSB
+	// default 100, giving the paper's average of ~50 items).
+	MaxScanLen int
+}
+
+// Core returns YCSB core workload w ('A'..'F').
+func Core(w byte) Workload {
+	switch w {
+	case 'A', 'a':
+		return Workload{Name: "YCSB-A", ReadPct: 50, UpdatePct: 50}
+	case 'B', 'b':
+		return Workload{Name: "YCSB-B", ReadPct: 95, UpdatePct: 5}
+	case 'C', 'c':
+		return Workload{Name: "YCSB-C", ReadPct: 100}
+	case 'D', 'd':
+		return Workload{Name: "YCSB-D", ReadPct: 95, InsertPct: 5}
+	case 'E', 'e':
+		return Workload{Name: "YCSB-E", ScanPct: 95, InsertPct: 5, MaxScanLen: 100}
+	case 'F', 'f':
+		return Workload{Name: "YCSB-F", ReadPct: 50, RMWPct: 50}
+	default:
+		panic("ycsb: unknown core workload")
+	}
+}
+
+// zipf is the Gray et al. bounded Zipfian generator YCSB uses, with
+// incremental support for a growing record count.
+type zipf struct {
+	theta        float64
+	n            int64
+	zetan, zeta2 float64
+	alpha, eta   float64
+}
+
+const theta = 0.99
+
+func newZipf(n int64) *zipf {
+	z := &zipf{theta: theta, n: n}
+	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zetaStatic(n, theta)
+	z.refresh()
+	return z
+}
+
+func zetaStatic(n int64, th float64) float64 {
+	var s float64
+	for i := int64(1); i <= n; i++ {
+		s += 1 / math.Pow(float64(i), th)
+	}
+	return s
+}
+
+func (z *zipf) refresh() {
+	z.alpha = 1 / (1 - z.theta)
+	z.eta = (1 - math.Pow(2/float64(z.n), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+}
+
+// grow extends the domain to n (incremental zeta update).
+func (z *zipf) grow(n int64) {
+	if n <= z.n {
+		return
+	}
+	for i := z.n + 1; i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), z.theta)
+	}
+	z.n = n
+	z.refresh()
+}
+
+func (z *zipf) next(r *rand.Rand) int64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// Generator produces a request stream for one workload.
+type Generator struct {
+	wl       Workload
+	dist     Distribution
+	itemSize int
+	records  int64
+	r        *rand.Rand
+	z        *zipf
+	version  uint64
+}
+
+// NewGenerator returns a generator over records initial records producing
+// itemSize-byte records (key + value + slab header, so an itemSize of 1024
+// occupies exactly one 1KB slab slot, as in the paper's experiments).
+func NewGenerator(wl Workload, dist Distribution, records int64, itemSize int, seed int64) *Generator {
+	g := &Generator{
+		wl:       wl,
+		dist:     dist,
+		itemSize: itemSize,
+		records:  records,
+		r:        rand.New(rand.NewSource(seed)),
+	}
+	if dist == Zipfian || dist == Latest {
+		g.z = newZipf(records)
+	}
+	return g
+}
+
+// ValueBytes returns the value length for the configured item size.
+func (g *Generator) ValueBytes() int {
+	v := g.itemSize - slab.HeaderSize - kv.KeyLen
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Records returns the current record count (grows with inserts).
+func (g *Generator) Records() int64 { return g.records }
+
+// InitialItems builds the bulk-load dataset (keys in sorted order).
+func (g *Generator) InitialItems() []kv.Item {
+	items := make([]kv.Item, g.records)
+	for i := int64(0); i < g.records; i++ {
+		items[i] = kv.Item{Key: kv.Key(i), Value: kv.Value(i, 0, g.ValueBytes())}
+	}
+	return items
+}
+
+// nextRecord draws a record number according to the distribution.
+func (g *Generator) nextRecord() int64 {
+	switch g.dist {
+	case Zipfian:
+		// Scrambled Zipfian: spread the hot items over the key space.
+		v := g.z.next(g.r)
+		return int64(kv.Hash64(kv.Key(v)) % uint64(g.records))
+	case Latest:
+		v := g.z.next(g.r)
+		return g.records - 1 - v
+	default:
+		return g.r.Int63n(g.records)
+	}
+}
+
+// Next produces the next operation. The caller owns the request.
+func (g *Generator) Next() *kv.Request {
+	p := g.r.Intn(100)
+	wl := &g.wl
+	switch {
+	case p < wl.ReadPct:
+		return &kv.Request{Op: kv.OpGet, Key: kv.Key(g.nextRecord())}
+	case p < wl.ReadPct+wl.UpdatePct:
+		i := g.nextRecord()
+		g.version++
+		return &kv.Request{Op: kv.OpUpdate, Key: kv.Key(i), Value: kv.Value(i, g.version, g.ValueBytes())}
+	case p < wl.ReadPct+wl.UpdatePct+wl.RMWPct:
+		i := g.nextRecord()
+		g.version++
+		return &kv.Request{Op: kv.OpRMW, Key: kv.Key(i), Value: kv.Value(i, g.version, g.ValueBytes())}
+	case p < wl.ReadPct+wl.UpdatePct+wl.RMWPct+wl.InsertPct:
+		i := g.records
+		g.records++
+		if g.z != nil {
+			g.z.grow(g.records)
+		}
+		return &kv.Request{Op: kv.OpUpdate, Key: kv.Key(i), Value: kv.Value(i, 0, g.ValueBytes())}
+	default: // scan
+		n := 1 + g.r.Intn(wl.MaxScanLen)
+		return &kv.Request{Op: kv.OpScan, Key: kv.Key(g.nextRecord()), ScanCount: n}
+	}
+}

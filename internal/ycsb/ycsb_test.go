@@ -1,0 +1,193 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+
+	"kvell/internal/kv"
+)
+
+func countOps(g *Generator, n int) map[kv.OpType]int {
+	m := map[kv.OpType]int{}
+	for i := 0; i < n; i++ {
+		m[g.Next().Op]++
+	}
+	return m
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	const n = 20000
+	cases := []struct {
+		w   byte
+		op  kv.OpType
+		pct int
+	}{
+		{'A', kv.OpUpdate, 50},
+		{'B', kv.OpGet, 95},
+		{'C', kv.OpGet, 100},
+		{'D', kv.OpGet, 95},
+		{'E', kv.OpScan, 95},
+		{'F', kv.OpRMW, 50},
+	}
+	for _, c := range cases {
+		g := NewGenerator(Core(c.w), Uniform, 10_000, 1024, 1)
+		got := countOps(g, n)
+		frac := 100 * got[c.op] / n
+		if frac < c.pct-2 || frac > c.pct+2 {
+			t.Errorf("workload %c: %v = %d%%, want ~%d%%", c.w, c.op, frac, c.pct)
+		}
+	}
+}
+
+func TestUniformCoversKeySpace(t *testing.T) {
+	g := NewGenerator(Core('C'), Uniform, 1000, 1024, 2)
+	seen := map[int64]bool{}
+	for i := 0; i < 20000; i++ {
+		r := g.Next()
+		num := kv.KeyNum(r.Key)
+		if num < 0 || num >= 1000 {
+			t.Fatalf("key %q out of range", r.Key)
+		}
+		seen[num] = true
+	}
+	if len(seen) < 950 {
+		t.Fatalf("uniform draw covered only %d/1000 keys", len(seen))
+	}
+}
+
+func TestZipfianIsSkewed(t *testing.T) {
+	g := NewGenerator(Core('C'), Zipfian, 100_000, 1024, 3)
+	counts := map[int64]int{}
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		counts[kv.KeyNum(g.Next().Key)]++
+	}
+	// Top-20 keys should take a large share under theta=0.99.
+	var freqs []int
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	top := 0
+	for i := 0; i < 20; i++ {
+		best := 0
+		for j, f := range freqs {
+			if f > freqs[best] {
+				best = j
+			}
+			_ = f
+		}
+		top += freqs[best]
+		freqs[best] = 0
+	}
+	if float64(top)/n < 0.15 {
+		t.Fatalf("top-20 keys got only %.1f%% of zipfian draws", 100*float64(top)/n)
+	}
+	if len(counts) < 1000 {
+		t.Fatalf("zipfian touched only %d distinct keys", len(counts))
+	}
+}
+
+func TestLatestFavorsRecentKeys(t *testing.T) {
+	g := NewGenerator(Core('D'), Latest, 10_000, 1024, 4)
+	recent, total := 0, 0
+	for i := 0; i < 20_000; i++ {
+		r := g.Next()
+		if r.Op != kv.OpGet {
+			continue
+		}
+		total++
+		if kv.KeyNum(r.Key) >= g.Records()-100 {
+			recent++
+		}
+	}
+	if float64(recent)/float64(total) < 0.3 {
+		t.Fatalf("latest distribution: only %.1f%% of reads in newest 100 keys", 100*float64(recent)/float64(total))
+	}
+}
+
+func TestInsertsGrowKeySpaceContiguously(t *testing.T) {
+	g := NewGenerator(Core('D'), Latest, 1000, 1024, 5)
+	var inserted []int64
+	for i := 0; i < 5000; i++ {
+		r := g.Next()
+		if r.Op == kv.OpUpdate { // D's writes are inserts of new keys
+			inserted = append(inserted, kv.KeyNum(r.Key))
+		}
+	}
+	if len(inserted) == 0 {
+		t.Fatal("no inserts generated")
+	}
+	for j, k := range inserted {
+		if k != 1000+int64(j) {
+			t.Fatalf("insert %d got key %d, want %d", j, k, 1000+int64(j))
+		}
+	}
+	if g.Records() != 1000+int64(len(inserted)) {
+		t.Fatalf("records = %d", g.Records())
+	}
+}
+
+func TestScanLengths(t *testing.T) {
+	g := NewGenerator(Core('E'), Uniform, 1000, 1024, 6)
+	var sum, n int
+	for i := 0; i < 10_000; i++ {
+		r := g.Next()
+		if r.Op != kv.OpScan {
+			continue
+		}
+		if r.ScanCount < 1 || r.ScanCount > 100 {
+			t.Fatalf("scan length %d out of [1,100]", r.ScanCount)
+		}
+		sum += r.ScanCount
+		n++
+	}
+	avg := float64(sum) / float64(n)
+	if avg < 45 || avg > 55 {
+		t.Fatalf("average scan length %.1f, want ~50 (paper)", avg)
+	}
+}
+
+func TestItemSizeMapsToSlabStride(t *testing.T) {
+	// A 1024-byte item (key+value+header) must fit exactly the paper's
+	// "1KB item" notion: value + key + header == 1024.
+	g := NewGenerator(Core('A'), Uniform, 100, 1024, 7)
+	if got := g.ValueBytes() + kv.KeyLen + 15; got != 1024 {
+		t.Fatalf("record footprint = %d, want 1024", got)
+	}
+}
+
+func TestZipfDeterminism(t *testing.T) {
+	a := NewGenerator(Core('A'), Zipfian, 5000, 1024, 42)
+	b := NewGenerator(Core('A'), Zipfian, 5000, 1024, 42)
+	for i := 0; i < 1000; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra.Op != rb.Op || string(ra.Key) != string(rb.Key) {
+			t.Fatal("generators with equal seeds diverged")
+		}
+	}
+}
+
+func TestZipfValuesInRange(t *testing.T) {
+	z := newZipf(1000)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		v := z.next(r)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("zipf draw %d out of range", v)
+		}
+	}
+	z.grow(2000)
+	hit := false
+	for i := 0; i < 100_000; i++ {
+		v := z.next(r)
+		if v < 0 || v >= 2000 {
+			t.Fatalf("zipf draw %d out of grown range", v)
+		}
+		if v >= 1000 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("grown domain never drawn")
+	}
+}

@@ -1,0 +1,228 @@
+// Package kvell is a persistent key-value store for fast NVMe SSDs,
+// reproducing the design of "KVell: the Design and Implementation of a Fast
+// Persistent Key-Value Store" (Lepers, Balmau, Gupta, Zwaenepoel, SOSP
+// 2019).
+//
+// The design in one paragraph (§4 of the paper): worker threads share
+// nothing — each owns a shard of the key space with its own in-memory
+// B-tree index, page cache, free lists and size-classed slab files; items
+// are stored unsorted at their final location on disk; I/O is issued in
+// batches to keep the device queues full without syscall overhead; and
+// there is no commit log — an update is acknowledged only once it is
+// durable at its final location. Scans are served by briefly consulting
+// each worker's in-memory index and fetching items by location.
+//
+// This package is the public, real-runtime API: it stores data in an
+// ordinary file (or in memory) using goroutine workers. The same engine
+// runs inside a discrete-event simulator to regenerate the paper's
+// evaluation; see the cmd/kvell-bench tool and DESIGN.md.
+//
+// Basic usage:
+//
+//	db, err := kvell.Open(kvell.Options{Path: "data.kvell"})
+//	if err != nil { ... }
+//	defer db.Close()
+//	db.Put([]byte("key"), []byte("value"))
+//	v, ok, _ := db.Get([]byte("key"))
+//	items, _ := db.Scan([]byte("a"), 100)
+package kvell
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"kvell/internal/core"
+	"kvell/internal/device"
+	"kvell/internal/env"
+	"kvell/internal/kv"
+)
+
+// Options configure a store.
+type Options struct {
+	// Path is the backing file. Empty means an in-memory store (useful
+	// for tests; nothing survives Close).
+	Path string
+	// Workers is the number of shared-nothing worker goroutines
+	// (default 4). Requests are routed to workers by key hash.
+	Workers int
+	// CacheBytes bounds the internal page caches (default 64MB).
+	CacheBytes int64
+	// BatchSize is the I/O batch per worker (default 64, as in the
+	// paper).
+	BatchSize int
+	// SyncWrites makes every acknowledged update durable via fsync before
+	// its callback runs (the paper's guarantee). Off by default because
+	// it is extremely slow on ordinary file systems; crash-consistency is
+	// still maintained by the recovery scan.
+	SyncWrites bool
+	// DisableRecovery skips the §5.6 recovery scan on open (use only for
+	// a file known to be empty).
+	DisableRecovery bool
+}
+
+// DB is a KVell store.
+type DB struct {
+	mu     sync.Mutex
+	e      *env.RealEnv
+	st     *core.Store
+	disk   *device.RealDisk
+	fstore device.Store
+	ctx    clientCtx
+	closed bool
+}
+
+// clientCtx is the env context used for public API calls (the calling
+// goroutine acts as a client thread).
+type clientCtx struct{ e *env.RealEnv }
+
+func (c clientCtx) Now() env.Time    { return c.e.Now() }
+func (c clientCtx) CPU(env.Time)     {}
+func (c clientCtx) Sleep(d env.Time) {}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("kvell: store is closed")
+
+// Open opens (creating or recovering) a store.
+func Open(o Options) (*DB, error) {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	var store device.Store
+	if o.Path == "" {
+		store = device.NewMemStore()
+		o.DisableRecovery = true
+	} else {
+		fs, err := device.OpenFileStore(o.Path)
+		if err != nil {
+			return nil, err
+		}
+		store = fs
+	}
+	e := env.NewReal()
+	disk := device.NewRealDisk(store, o.Workers*2, o.SyncWrites)
+	cfg := core.DefaultConfig(disk)
+	cfg.Workers = o.Workers
+	cfg.BatchSize = o.BatchSize
+	cfg.PageCachePages = int(o.CacheBytes / device.PageSize)
+	cfg.WorkerRegionPages = 1 << 22 // keep file offsets modest (16GB/worker)
+	st, err := core.Open(e, cfg)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	db := &DB{e: e, st: st, disk: disk, fstore: store, ctx: clientCtx{e: e}}
+	if !o.DisableRecovery {
+		errCh := make(chan error, 1)
+		e.Go("recovery", func(c env.Ctx) { errCh <- st.Recover(c) })
+		if err := <-errCh; err != nil {
+			store.Close()
+			return nil, fmt.Errorf("kvell: recovery failed: %w", err)
+		}
+	}
+	st.Start()
+	return db, nil
+}
+
+func (db *DB) check() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Put durably stores value under key. Per the paper's §4.4, the write is
+// acknowledged only once it sits at its final location on disk.
+func (db *DB) Put(key, value []byte) error {
+	if err := db.check(); err != nil {
+		return err
+	}
+	db.st.Put(db.ctx, key, value)
+	return nil
+}
+
+// Get returns the most recent value of key.
+func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	if err := db.check(); err != nil {
+		return nil, false, err
+	}
+	v, ok := db.st.Get(db.ctx, key)
+	return v, ok, nil
+}
+
+// Delete removes key, reporting whether it existed.
+func (db *DB) Delete(key []byte) (bool, error) {
+	if err := db.check(); err != nil {
+		return false, err
+	}
+	return db.st.Delete(db.ctx, key), nil
+}
+
+// Item is a key-value pair returned by scans.
+type Item = kv.Item
+
+// Scan returns up to count items with key >= start, in ascending key
+// order (§5.5: the scanning thread merges the per-worker indexes and then
+// fetches items by location).
+func (db *DB) Scan(start []byte, count int) ([]Item, error) {
+	if err := db.check(); err != nil {
+		return nil, err
+	}
+	return db.st.ScanN(db.ctx, start, count), nil
+}
+
+// ScanRange returns all items with start <= key < end in key order.
+func (db *DB) ScanRange(start, end []byte) ([]Item, error) {
+	if err := db.check(); err != nil {
+		return nil, err
+	}
+	return db.st.ScanRange(db.ctx, start, end), nil
+}
+
+// Stats reports store counters.
+type Stats struct {
+	Items       int64
+	IndexBytes  int64
+	CacheHits   int64
+	CacheMisses int64
+	Reads       int64
+	Writes      int64
+}
+
+// Stats returns a snapshot of store statistics.
+func (db *DB) Stats() Stats {
+	s := db.st.Stats()
+	c := db.disk.Counters()
+	return Stats{
+		Items:       s.Items,
+		IndexBytes:  s.IndexBytes,
+		CacheHits:   s.CacheHits,
+		CacheMisses: s.CacheMisses,
+		Reads:       c.ReadOps,
+		Writes:      c.WriteOps,
+	}
+}
+
+// Close stops the workers and closes the backing file. Pending operations
+// complete first.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	db.mu.Unlock()
+	db.st.Stop(db.ctx)
+	db.e.Wait()
+	db.disk.Close()
+	return db.fstore.Close()
+}
