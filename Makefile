@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet fmt-check lint test race check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails if any file is not gofmt-clean (gofmt -l prints offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Determinism lint suite (see DESIGN.md "Determinism invariants").
+lint:
+	$(GO) run ./cmd/kvell-lint ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector slows the simulator ~5x; the harness suite needs more
+# than go test's default 10m package timeout.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# Everything CI runs, in the same order.
+check: build vet fmt-check lint race

@@ -1,0 +1,57 @@
+// Command kvell-lint runs the repository's determinism analyzers (see
+// internal/analysis and DESIGN.md "Determinism invariants") over every
+// package in the module.
+//
+// Usage:
+//
+//	go run ./cmd/kvell-lint ./...
+//
+// It exits non-zero when any diagnostic survives suppression. Findings can be
+// suppressed, with a mandatory reason, by a comment on the offending line or
+// the line above it:
+//
+//	//kvell:lint-ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kvell/internal/analysis"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print per-package progress and type-check noise")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: kvell-lint [-v] [packages]\n\nanalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	pkgs, err := analysis.LoadPackages(".", flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvell-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		for _, p := range pkgs {
+			fmt.Fprintf(os.Stderr, "# %s (%d files, %d type errors)\n", p.Path, len(p.Files), len(p.TypeErrors))
+			for _, e := range p.TypeErrors {
+				fmt.Fprintf(os.Stderr, "#   type: %v\n", e)
+			}
+		}
+	}
+
+	diags := analysis.Check(pkgs, analysis.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "kvell-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+	fmt.Printf("kvell-lint: %d packages clean\n", len(pkgs))
+}

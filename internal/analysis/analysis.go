@@ -1,0 +1,215 @@
+// Package analysis is a zero-dependency static-analysis framework enforcing
+// the repository's determinism invariants (see DESIGN.md "Determinism
+// invariants"). Every number the simulator reproduces from the paper depends
+// on bit-for-bit deterministic runs, so the properties "no wall clock", "no
+// ambient randomness", "no unordered map iteration feeding results" and "no
+// raw concurrency in sim-driven code" are machine-checked rather than left to
+// convention.
+//
+// The framework is deliberately small: an Analyzer inspects one type-checked
+// Package and reports Diagnostics; the driver (cmd/kvell-lint) loads every
+// package in the module and runs all registered analyzers. Only the standard
+// library (go/ast, go/types, go/parser) is used, keeping go.mod dependency
+// free.
+//
+// Individual findings can be suppressed with a comment on the offending line
+// or the line directly above it:
+//
+//	//kvell:lint-ignore <analyzer> <reason>
+//
+// The analyzer name must be one of the registered analyzers and the reason is
+// mandatory; malformed directives are themselves diagnostics.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	Hint     string // how to fix it; printed indented under the message
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	if d.Hint != "" {
+		s += "\n\tfix: " + d.Hint
+	}
+	return s
+}
+
+// Analyzer checks one package for a class of determinism hazards.
+type Analyzer struct {
+	Name string // short lowercase identifier, used in suppression comments
+	Doc  string // one-line description
+	Run  func(*Pass)
+}
+
+// Pass carries one (analyzer, package) combination.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Reportf records a diagnostic at pos. hint may be empty.
+func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Hint:     hint,
+	})
+}
+
+// PkgPath returns the import path of the referenced package if id resolves to
+// an import (e.g. the "time" in time.Now), or "" otherwise. Resolution uses
+// type information, so a local variable shadowing a package name is never
+// mistaken for the package.
+func (p *Pass) PkgPath(id *ast.Ident) string {
+	if pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// SelectorPkg returns the import path for a pkg.Name selector expression,
+// or "" when the selector is not a package-qualified reference.
+func (p *Pass) SelectorPkg(sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	return p.PkgPath(id)
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Pkg.Fset.Position(pos).Filename, "_test.go")
+}
+
+// All returns the registered analyzers in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{NoWallTime, NoRand, MapOrder, NoGoroutine}
+}
+
+// ByName returns the registered analyzer with the given name.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// IgnoreDirective is the suppression comment prefix.
+const IgnoreDirective = "//kvell:lint-ignore"
+
+// suppression is one parsed //kvell:lint-ignore directive.
+type suppression struct {
+	analyzer string
+	line     int // the directive's own line; it covers this line and the next
+}
+
+// parseSuppressions scans a file's comments for lint-ignore directives.
+// Malformed directives (unknown analyzer, missing reason) are reported as
+// diagnostics of the pseudo-analyzer "lint-ignore", which cannot itself be
+// suppressed.
+func parseSuppressions(fset *token.FileSet, f *ast.File, analyzers []*Analyzer) (sups []suppression, bad []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, IgnoreDirective) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimPrefix(c.Text, IgnoreDirective)
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				bad = append(bad, Diagnostic{Pos: pos, Analyzer: "lint-ignore",
+					Message: "malformed suppression: missing analyzer name and reason",
+					Hint:    "write " + IgnoreDirective + " <analyzer> <reason>"})
+			case !known[fields[0]]:
+				bad = append(bad, Diagnostic{Pos: pos, Analyzer: "lint-ignore",
+					Message: fmt.Sprintf("suppression names unknown analyzer %q", fields[0]),
+					Hint:    "known analyzers: " + analyzerNames(analyzers)})
+			case len(fields) < 2:
+				bad = append(bad, Diagnostic{Pos: pos, Analyzer: "lint-ignore",
+					Message: fmt.Sprintf("suppression of %q has no reason", fields[0]),
+					Hint:    "state why the finding is safe: " + IgnoreDirective + " " + fields[0] + " <reason>"})
+			default:
+				sups = append(sups, suppression{analyzer: fields[0], line: pos.Line})
+			}
+		}
+	}
+	return sups, bad
+}
+
+func analyzerNames(as []*Analyzer) string {
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// Check runs every analyzer over every package, applies suppression
+// directives, and returns the surviving diagnostics sorted by position.
+func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		// (analyzer, file, line) -> suppressed.
+		suppressed := make(map[string]map[int]bool)
+		for _, f := range pkg.Files {
+			sups, bad := parseSuppressions(pkg.Fset, f, analyzers)
+			out = append(out, bad...)
+			file := pkg.Fset.Position(f.Pos()).Filename
+			for _, s := range sups {
+				key := s.analyzer + "\x00" + file
+				if suppressed[key] == nil {
+					suppressed[key] = make(map[int]bool)
+				}
+				suppressed[key][s.line] = true
+				suppressed[key][s.line+1] = true
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if m := suppressed[d.Analyzer+"\x00"+d.Pos.Filename]; m != nil && m[d.Pos.Line] {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under analysis.
+type Package struct {
+	Path string // full import path, e.g. kvell/internal/sim
+	Rel  string // module-relative path, e.g. internal/sim ("" for the root)
+	Dir  string
+	Fset *token.FileSet
+	// Files holds the package's syntax (with comments), including in-package
+	// _test.go files — determinism invariants apply to tests too.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects non-fatal type-checking problems. Analysis is
+	// tolerant: diagnostics are still produced for everything that resolved.
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Standard     bool
+	ForTest      string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// LoadPackages loads and type-checks every package matched by patterns
+// (relative to dir), resolving imports through compiled export data from the
+// go tool. Stdlib only: metadata comes from `go list`, types from go/types.
+func LoadPackages(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	modPath, modDir, err := moduleInfo(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// -deps -test -export pulls in the full transitive closure (including
+	// test-only deps like "testing") with export data for each, so the
+	// type-checker never needs to parse anything outside the module.
+	args := append([]string{"list", "-deps", "-test", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list failed: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		// Synthesized test variants ("foo [foo.test]", "foo.test") are
+		// skipped: the plain package is linted with its test files below.
+		variant := strings.Contains(p.ImportPath, " ") || strings.HasSuffix(p.ImportPath, ".test") || p.ForTest != ""
+		if p.Export != "" && !variant {
+			exports[p.ImportPath] = p.Export
+		}
+		if variant || p.Standard {
+			continue
+		}
+		if p.Dir == "" || !within(modDir, p.Dir) {
+			continue
+		}
+		pp := p
+		targets = append(targets, &pp)
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := typeCheck(fset, imp, t, modPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func moduleInfo(dir string) (path, root string, err error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Path}}\t{{.Dir}}")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", "", fmt.Errorf("go list -m failed: %v", err)
+	}
+	parts := strings.SplitN(strings.TrimSpace(string(out)), "\t", 2)
+	if len(parts) != 2 {
+		return "", "", fmt.Errorf("unexpected go list -m output: %q", out)
+	}
+	return parts[0], parts[1], nil
+}
+
+func within(root, dir string) bool {
+	rel, err := filepath.Rel(root, dir)
+	return err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator))
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, lp *listPkg, modPath string) (*Package, error) {
+	var files []*ast.File
+	names := append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)
+	names = append(names, lp.XTestGoFiles...)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		Path: lp.ImportPath,
+		Rel:  relPath(modPath, lp.ImportPath),
+		Dir:  lp.Dir,
+		Fset: fset,
+		Info: newInfo(),
+	}
+	// External test files (package foo_test) are a distinct package; check
+	// them separately so the two package names don't collide.
+	var xtest []*ast.File
+	inPkg := files[:0]
+	for _, f := range files {
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			xtest = append(xtest, f)
+		} else {
+			inPkg = append(inPkg, f)
+		}
+	}
+	pkg.Files = append(append([]*ast.File{}, inPkg...), xtest...)
+
+	check := func(path string, fs []*ast.File, info *types.Info) *types.Package {
+		if len(fs) == 0 {
+			return nil
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		}
+		tp, _ := conf.Check(path, fset, fs, info) // tolerant: partial info is fine
+		return tp
+	}
+	pkg.Types = check(lp.ImportPath, inPkg, pkg.Info)
+	if len(xtest) > 0 {
+		check(lp.ImportPath+"_test", xtest, pkg.Info)
+	}
+	return pkg, nil
+}
+
+func relPath(modPath, importPath string) string {
+	if importPath == modPath {
+		return ""
+	}
+	return strings.TrimPrefix(importPath, modPath+"/")
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// exportImporter resolves imports from compiled export data, falling back to
+// an empty placeholder package so analysis can proceed even when export data
+// is unavailable (package-name resolution still works against placeholders).
+type exportImporter struct {
+	gc    types.Importer
+	fakes map[string]*types.Package
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{
+		gc:    importer.ForCompiler(fset, "gc", lookup),
+		fakes: make(map[string]*types.Package),
+	}
+}
+
+func (i *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, err := i.gc.Import(path); err == nil {
+		return pkg, nil
+	}
+	if pkg, ok := i.fakes[path]; ok {
+		return pkg, nil
+	}
+	name := path
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	i.fakes[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// orderSensitiveMethods are method names whose call order is observable:
+// device and store I/O, and simulated-time charging. Invoking one of these
+// per map entry makes the run depend on Go's randomized map iteration order.
+var orderSensitiveMethods = map[string]bool{
+	"Submit": true, "WritePages": true, "ReadPages": true,
+	"CPU": true, "Sleep": true, "Charge": true, "Use": true,
+}
+
+// MapOrder flags `for ... range m` over a map whose body performs an
+// order-sensitive action: appending to a slice (unless the result is sorted
+// later in the same function), emitting output, or performing I/O / charging
+// simulated time. Map iteration order is randomized per run, so any of these
+// leaks nondeterminism into results.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose body appends/prints/does I/O without a subsequent sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		var funcStack []ast.Node // innermost enclosing FuncDecl/FuncLit
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n.(type) {
+			case nil:
+				return true
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcStack = append(funcStack, n)
+				ast.Inspect(n, func(m ast.Node) bool {
+					if m == n {
+						return true
+					}
+					return visit(m)
+				})
+				funcStack = funcStack[:len(funcStack)-1]
+				return false // children handled above
+			case *ast.RangeStmt:
+				rs := n.(*ast.RangeStmt)
+				if isMapType(pass, rs.X) && len(funcStack) > 0 {
+					checkMapRange(pass, rs, funcStack[len(funcStack)-1])
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, visit)
+	}
+}
+
+func isMapType(pass *Pass, x ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, enclosing ast.Node) {
+	var appendPos, printPos, ioPos token.Pos
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" && isBuiltin(pass, fun) && !appendPos.IsValid() {
+				appendPos = call.Pos()
+			}
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			if pass.SelectorPkg(fun) == "fmt" &&
+				(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+				if !printPos.IsValid() {
+					printPos = call.Pos()
+				}
+			} else if pass.SelectorPkg(fun) == "" && orderSensitiveMethods[name] && !ioPos.IsValid() {
+				ioPos = call.Pos()
+			}
+		}
+		return true
+	})
+
+	// Output and I/O happen *during* the iteration; no later sort can fix
+	// them. Appends are fine if the collected slice is sorted afterwards
+	// (the collect-keys-then-sort idiom).
+	if printPos.IsValid() {
+		pass.Reportf(rs.Pos(),
+			"collect the keys, sort them, then iterate the sorted slice",
+			"map iteration emits output in randomized order")
+	}
+	if ioPos.IsValid() {
+		pass.Reportf(rs.Pos(),
+			"collect the keys, sort them, then iterate the sorted slice",
+			"map iteration performs I/O or charges simulated time in randomized order")
+	}
+	if appendPos.IsValid() && !printPos.IsValid() && !ioPos.IsValid() &&
+		!sortCallAfter(pass, enclosing, rs.End()) {
+		pass.Reportf(rs.Pos(),
+			"sort the collected slice before use (sort.Slice / sort.Strings / slices.Sort), or iterate sorted keys",
+			"map iteration appends to a slice that is never sorted; element order changes run to run")
+	}
+}
+
+func isBuiltin(pass *Pass, id *ast.Ident) bool {
+	obj, ok := pass.Pkg.Info.Uses[id]
+	if !ok {
+		return true // unresolved (tolerant mode): assume the builtin
+	}
+	_, isB := obj.(*types.Builtin)
+	return isB
+}
+
+// sortCallAfter reports whether a sort/slices package call appears after pos
+// inside the enclosing function.
+func sortCallAfter(pass *Pass, enclosing ast.Node, pos token.Pos) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if p := pass.SelectorPkg(sel); p == "sort" || p == "slices" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// randConstructors are the math/rand identifiers that do NOT touch the
+// package-global, auto-seeded source: explicit-seed constructors and type
+// names. Everything else on the package (Intn, Float64, Perm, Shuffle, Seed,
+// Read, ...) draws from or mutates shared global state, which makes results
+// depend on whatever else has consumed the stream.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// Type and interface names.
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+	// math/rand/v2 additions, should the module migrate.
+	"NewPCG": true, "NewChaCha8": true, "PCG": true, "ChaCha8": true,
+}
+
+// NoRand forbids the package-level math/rand functions everywhere in the
+// module: randomness must come from a *rand.Rand explicitly seeded from the
+// experiment configuration, so a run is a pure function of its seed.
+var NoRand = &Analyzer{
+	Name: "norand",
+	Doc:  "forbid globally-seeded package-level math/rand functions; require an explicitly seeded *rand.Rand",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				path := pass.SelectorPkg(sel)
+				if (path == "math/rand" || path == "math/rand/v2") && !randConstructors[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"use rand.New(rand.NewSource(seed)) with a seed threaded from the experiment config (Options.Seed / Spec.Seed)",
+						"package-level rand.%s uses the shared global source; results stop being a pure function of the configured seed", sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	},
+}

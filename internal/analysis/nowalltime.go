@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallTimeFuncs are the package time functions that read the wall clock or
+// schedule against it. Simulated code must use the virtual clock instead
+// (env.Ctx.Now / env.Ctx.Sleep), or the run is no longer reproducible.
+var wallTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// nowalltimeAllowed reports whether a package may touch the wall clock:
+// command-line tools and examples run in real time, and internal/env hosts
+// the real-runtime bridge (RealEnv) that maps env.Time onto the wall clock.
+func nowalltimeAllowed(rel string) bool {
+	return strings.HasPrefix(rel, "cmd/") ||
+		strings.HasPrefix(rel, "examples/") ||
+		rel == "internal/env"
+}
+
+// NoWallTime forbids wall-clock access outside the real-time bridge.
+var NoWallTime = &Analyzer{
+	Name: "nowalltime",
+	Doc:  "forbid time.Now/Since/Sleep/timers outside cmd/, examples/ and the internal/env real-time bridge",
+	Run: func(pass *Pass) {
+		if nowalltimeAllowed(pass.Pkg.Rel) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if pass.SelectorPkg(sel) == "time" && wallTimeFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"use the virtual clock: env.Ctx.Now()/Sleep() in engine code, or sim.Sim.Now() in harness code; see DESIGN.md \"Determinism invariants\"",
+						"wall-clock call time.%s in simulated code breaks run-to-run determinism", sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,11 @@
+// Fixture for malformed suppression directives: each is itself reported.
+package fixture
+
+//kvell:lint-ignore
+func missingEverything() {} // directive above: missing analyzer and reason
+
+//kvell:lint-ignore nosuchanalyzer some reason
+func unknownAnalyzer() {} // directive above: unknown analyzer
+
+//kvell:lint-ignore nowalltime
+func missingReason() {} // directive above: no reason given

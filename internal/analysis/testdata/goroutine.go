@@ -1,0 +1,23 @@
+// Fixture for the nogoroutine analyzer.
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex // want nogoroutine
+	n  int
+}
+
+func spawn(fn func()) {
+	go fn() // want nogoroutine
+}
+
+func wait() {
+	var wg sync.WaitGroup // want nogoroutine
+	wg.Add(1)
+	wg.Done()
+	wg.Wait()
+}
+
+// sync/atomic and channels are not in scope for this analyzer.
+func chanOK() chan int { return make(chan int, 1) }

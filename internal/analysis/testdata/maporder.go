@@ -1,0 +1,65 @@
+// Fixture for the maporder analyzer.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+type dev struct{}
+
+func (dev) Submit(x int) {}
+
+// Appending map keys without a later sort leaks iteration order.
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want maporder
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// The collect-then-sort idiom is the sanctioned fix.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Output during iteration cannot be repaired by a later sort.
+func printDuring(m map[string]int) {
+	var keys []string
+	for k, v := range m { // want maporder
+		fmt.Println(k, v)
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+}
+
+// I/O (or sim-time charging) during iteration is flagged too.
+func ioDuring(m map[int64]int, d dev) {
+	for k := range m { // want maporder
+		d.Submit(int(k))
+	}
+}
+
+// Commutative bodies are fine.
+func sumOK(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Ranging a slice is always fine.
+func sliceOK(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v)
+	}
+	return out
+}

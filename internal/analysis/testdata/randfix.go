@@ -1,0 +1,31 @@
+// Fixture for the norand analyzer.
+package fixture
+
+import "math/rand"
+
+func globalDraw() int { return rand.Intn(10) } // want norand
+
+func globalFloat() float64 { return rand.Float64() } // want norand
+
+func globalSeed() { rand.Seed(42) } // want norand
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want norand
+}
+
+// Explicitly seeded sources are the required idiom.
+func seededOK(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10) // method on a seeded *rand.Rand, fine
+}
+
+func zipfOK(seed int64) *rand.Zipf {
+	r := rand.New(rand.NewSource(seed))
+	return rand.NewZipf(r, 1.1, 1, 100)
+}
+
+// A local variable shadowing the package name is not the package.
+func shadowOK() int {
+	rand := struct{ Intn func(int) int }{Intn: func(n int) int { return n }}
+	return rand.Intn(10)
+}

@@ -1,0 +1,21 @@
+// Fixture for //kvell:lint-ignore suppression handling.
+package fixture
+
+import "time"
+
+//kvell:lint-ignore nowalltime fixture: suppressed by the comment directly above
+func suppressedAbove() time.Time { return time.Now() }
+
+func suppressedInline() time.Time {
+	return time.Now() //kvell:lint-ignore nowalltime fixture: suppressed on the same line
+}
+
+// A suppression for one analyzer does not silence another.
+//
+//kvell:lint-ignore norand fixture: wrong analyzer on purpose
+func wrongAnalyzer() time.Time { return time.Now() } // want nowalltime
+
+// A suppression two lines up is out of range.
+//kvell:lint-ignore nowalltime fixture: too far away
+
+func tooFar() time.Time { return time.Now() } // want nowalltime

@@ -1,0 +1,28 @@
+// Fixture for the nowalltime analyzer. Not compiled into the module
+// (testdata is invisible to the go tool); loaded directly by the tests,
+// which compare diagnostics against the "want <analyzer>" line markers.
+package fixture
+
+import (
+	"time"
+
+	stdtime "time"
+)
+
+type myClock struct{}
+
+func (myClock) Now() int64        { return 0 }
+func (myClock) Since(int64) int64 { return 0 }
+
+func virtualOK(c myClock) int64 { return c.Now() + c.Since(3) } // methods named Now/Since are fine
+
+func wallNow() time.Time          { return time.Now() }           // want nowalltime
+func wallSince(t time.Time) int64 { return int64(time.Since(t)) } // want nowalltime
+func wallSleep()                  { time.Sleep(1) }               // want nowalltime
+func wallRenamed() stdtime.Time   { return stdtime.Now() }        // want nowalltime
+func wallTimer() *time.Timer      { return time.NewTimer(1) }     // want nowalltime
+func wallAfter() <-chan time.Time { return time.After(1) }        // want nowalltime
+
+func durationOK() time.Duration   { return 5 * time.Millisecond } // constants are fine
+func timerType() *time.Timer      { return nil }                  // type references are fine
+func parseOK() (time.Time, error) { return time.Parse("", "") }   // deterministic helpers are fine

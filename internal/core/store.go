@@ -274,8 +274,15 @@ func (s *Store) BulkLoad(items []kv.Item) error {
 		}
 		w.idx.Put(it.Key, uint64(loc(cls, slot)))
 	}
-	// Flush accumulated sub-page buffers.
-	for k, pb := range pages {
+	// Flush accumulated sub-page buffers in key order: map iteration order
+	// is randomized per run and the writes must not be.
+	keys := make([]int64, 0, len(pages))
+	for k := range pages {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		pb := pages[k]
 		page := k / int64(len(s.cfg.Disks))
 		if err := storeOf(pb.disk).WritePages(page, pb.data); err != nil {
 			return err

@@ -255,8 +255,9 @@ func (d *SimDisk) Submit(r *Request) {
 // routed to executors by page so that operations on the same page execute
 // in submission order (read-modify-write flows depend on this).
 type RealDisk struct {
-	store    Store
-	reqs     []chan *Request
+	store Store
+	reqs  []chan *Request
+	//kvell:lint-ignore nogoroutine RealDisk is the real-runtime device; it never runs under the simulator
 	wg       sync.WaitGroup
 	syncEach bool
 
@@ -276,6 +277,7 @@ func NewRealDisk(store Store, workers int, syncWrites bool) *RealDisk {
 	d.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		d.reqs[i] = make(chan *Request, 256)
+		//kvell:lint-ignore nogoroutine RealDisk executors are real-runtime I/O threads; never used under the simulator
 		go d.run(d.reqs[i])
 	}
 	return d

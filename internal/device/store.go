@@ -31,6 +31,7 @@ type Store interface {
 
 // MemStore is an in-memory sparse page store. It is safe for concurrent use.
 type MemStore struct {
+	//kvell:lint-ignore nogoroutine MemStore also backs RealDisk's concurrent executors; under the sim it is only touched from the single scheduler thread
 	mu    sync.RWMutex
 	pages map[int64]*[PageSize]byte
 }

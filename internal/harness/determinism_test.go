@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"testing"
+
+	"kvell/internal/env"
+	"kvell/internal/ycsb"
+)
+
+// fingerprint captures every determinism-sensitive observable of a run: op
+// count, the full latency distribution, both timelines bit-for-bit, and the
+// final virtual-clock reading. Two runs of the same Spec must agree on all of
+// them — this is the regression test behind the invariants that the
+// kvell-lint analyzers enforce statically (see DESIGN.md "Determinism
+// invariants").
+type fingerprint struct {
+	ops      int64
+	lat      uint64
+	timeline uint64
+	diskBW   uint64
+	now      env.Time
+}
+
+func runFingerprint(spec Spec) fingerprint {
+	r := Run(spec)
+	return fingerprint{
+		ops:      r.Ops,
+		lat:      r.Lat.Digest(),
+		timeline: r.Timeline.Digest(),
+		diskBW:   r.DiskBW.Digest(),
+		now:      r.Sim.Now(),
+	}
+}
+
+func determinismSpec(k EngineKind, seed int64) Spec {
+	return Spec{
+		Name:     "determinism",
+		Engine:   k,
+		Seed:     seed,
+		Records:  5_000,
+		Gen:      ycsbGen('A', ycsb.Zipfian, 5_000, 1024),
+		Warmup:   100 * env.Millisecond,
+		Duration: 300 * env.Millisecond,
+	}
+}
+
+func TestSameSeedIdenticalRun(t *testing.T) {
+	for _, k := range []EngineKind{KVell, RocksLike} {
+		a := runFingerprint(determinismSpec(k, 42))
+		b := runFingerprint(determinismSpec(k, 42))
+		if a.ops == 0 {
+			t.Errorf("%v: no operations completed", k)
+			continue
+		}
+		if a != b {
+			t.Errorf("%v: same seed produced different runs\n first: %+v\nsecond: %+v", k, a, b)
+		}
+	}
+}
+
+func TestDifferentSeedDifferentRun(t *testing.T) {
+	a := runFingerprint(determinismSpec(KVell, 1))
+	b := runFingerprint(determinismSpec(KVell, 2))
+	if a.lat == b.lat && a.timeline == b.timeline && a.ops == b.ops {
+		t.Errorf("different seeds produced identical runs — the seed is not reaching the workload: %+v", a)
+	}
+}

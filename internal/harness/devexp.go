@@ -189,7 +189,7 @@ func table3(o Options, w io.Writer) {
 			kernel := e.NewMutex()
 			for i := 0; i < threads; i++ {
 				e.Go("mmap", func(c env.Ctx) {
-					r := rand.New(rand.NewSource(int64(threads * 100)))
+					r := rand.New(rand.NewSource(o.Seed + int64(threads)*100 + int64(i)))
 					buf := make([]byte, device.PageSize)
 					for c.Now() < dur {
 						kernel.Lock(c)
@@ -208,7 +208,7 @@ func table3(o Options, w io.Writer) {
 	// Synchronous direct I/O: one syscall + one I/O at a time per thread.
 	direct := s(func(sm *sim.Sim, e *sim.Env, d *device.SimDisk, done func()) {
 		e.Go("direct", func(c env.Ctx) {
-			r := rand.New(rand.NewSource(5))
+			r := rand.New(rand.NewSource(o.Seed + 5))
 			buf := make([]byte, device.PageSize)
 			for c.Now() < dur {
 				c.CPU(costs.Syscall)
@@ -222,7 +222,7 @@ func table3(o Options, w io.Writer) {
 	aioQD := func(qd int) float64 {
 		return s(func(sm *sim.Sim, e *sim.Env, d *device.SimDisk, done func()) {
 			e.Go("aio", func(c env.Ctx) {
-				r := rand.New(rand.NewSource(9))
+				r := rand.New(rand.NewSource(o.Seed + 9))
 				buf := make([]byte, device.PageSize)
 				inflight := 0
 				mu := e.NewMutex()

@@ -64,7 +64,7 @@ func cpuPerIO(o Options, w io.Writer) {
 		for di := 0; di < 8; di++ {
 			di := di
 			e.Go("gen", func(c env.Ctx) {
-				r := rand.New(rand.NewSource(int64(di * 10)))
+				r := rand.New(rand.NewSource(o.Seed + int64(di)*10))
 				buf := make([]byte, device.PageSize)
 				const depth = 64
 				inflight := 0

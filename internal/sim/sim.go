@@ -57,15 +57,16 @@ var errShutdown = shutdownError{}
 
 // Sim is a discrete-event simulation.
 type Sim struct {
-	now    Time
-	events eventHeap
-	seq    uint64
-	yield  chan struct{} // procs hand control back to the scheduler here
-	parked map[*Proc]struct{}
-	closed bool
-	failed error
-	rng    *rand.Rand
-	live   int // procs started and not yet finished
+	now     Time
+	events  eventHeap
+	seq     uint64
+	yield   chan struct{} // procs hand control back to the scheduler here
+	parked  map[*Proc]struct{}
+	closed  bool
+	failed  error
+	rng     *rand.Rand
+	live    int    // procs started and not yet finished
+	procSeq uint64 // creation order; teardown resumes parked procs in this order
 }
 
 // New returns an empty simulation whose random source is seeded with seed.
@@ -101,7 +102,8 @@ func (s *Sim) At(at Time, fn func()) { s.schedule(at, nil, fn) }
 
 // Go starts a new proc running fn, beginning at the current virtual time.
 func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.procSeq++
+	p := &Proc{sim: s, name: name, id: s.procSeq, resume: make(chan struct{})}
 	s.live++
 	go func() {
 		<-p.resume
@@ -169,11 +171,17 @@ func (s *Sim) Close() error {
 			s.resumeProc(e.proc)
 		}
 	}
+	// Resume survivors in creation order: s.parked is a map, and Go's
+	// randomized iteration order must not decide which proc panic is
+	// recorded first in s.failed.
 	for len(s.parked) > 0 {
+		var next *Proc
 		for p := range s.parked {
-			s.resumeProc(p)
-			break // map mutated; restart iteration
+			if next == nil || p.id < next.id {
+				next = p
+			}
 		}
+		s.resumeProc(next)
 	}
 	return s.failed
 }
@@ -182,6 +190,7 @@ func (s *Sim) Close() error {
 type Proc struct {
 	sim    *Sim
 	name   string
+	id     uint64 // creation order, for deterministic teardown
 	resume chan struct{}
 }
 

@@ -1,0 +1,51 @@
+package stats
+
+import "math"
+
+// Digests give a compact fingerprint of a measurement's full state, used by
+// the determinism regression tests: two runs with the same seed must produce
+// bit-for-bit identical histograms and timelines, which is far stronger than
+// comparing a few percentiles. FNV-1a over the raw counters is enough — the
+// digest only needs to differ when the underlying state differs.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+type fnv64 uint64
+
+func (h *fnv64) word(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x ^= v & 0xff
+		x *= fnvPrime
+		v >>= 8
+	}
+	*h = fnv64(x)
+}
+
+// Digest returns an FNV-1a hash of the histogram's complete state: every
+// bucket count plus n, sum, min and max.
+func (h *Hist) Digest() uint64 {
+	d := fnv64(fnvOffset)
+	for _, c := range h.counts {
+		d.word(uint64(c))
+	}
+	d.word(uint64(h.n))
+	d.word(math.Float64bits(h.sum))
+	d.word(uint64(h.max))
+	d.word(uint64(h.min))
+	return uint64(d)
+}
+
+// Digest returns an FNV-1a hash of the timeline's bucket width and every
+// accumulated bucket value.
+func (tl *Timeline) Digest() uint64 {
+	d := fnv64(fnvOffset)
+	d.word(uint64(tl.Width))
+	for _, v := range tl.buckets {
+		d.word(math.Float64bits(v))
+	}
+	return uint64(d)
+}

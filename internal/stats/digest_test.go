@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"testing"
+
+	"kvell/internal/env"
+)
+
+func TestHistDigest(t *testing.T) {
+	a, b := NewHist(), NewHist()
+	if a.Digest() != b.Digest() {
+		t.Fatal("empty histograms must digest equally")
+	}
+	for i := 1; i <= 100; i++ {
+		a.Add(env.Time(i * 1000))
+		b.Add(env.Time(i * 1000))
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical sample streams must digest equally")
+	}
+	if a.Digest() == NewHist().Digest() {
+		t.Fatal("populated histogram digests like an empty one")
+	}
+	// A zero-valued sample lands in bucket 0 but still bumps n: the digest
+	// must see it.
+	b.Add(0)
+	if a.Digest() == b.Digest() {
+		t.Fatal("extra zero sample did not change the digest")
+	}
+	// Two samples in the same log bucket but with different values differ
+	// in sum, so the digest distinguishes them.
+	c, d := NewHist(), NewHist()
+	c.Add(1000)
+	d.Add(1001)
+	if c.Digest() == d.Digest() {
+		t.Fatal("same-bucket samples with different sums digest equally")
+	}
+}
+
+func TestTimelineDigest(t *testing.T) {
+	a, b := NewTimeline(env.Second), NewTimeline(env.Second)
+	if a.Digest() != b.Digest() {
+		t.Fatal("empty timelines with equal width must digest equally")
+	}
+	a.Add(env.Second/2, 3)
+	a.Add(3*env.Second/2, 7)
+	b.Add(env.Second/2, 3)
+	b.Add(3*env.Second/2, 7)
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical timelines must digest equally")
+	}
+	b.Add(3*env.Second/2, 1)
+	if a.Digest() == b.Digest() {
+		t.Fatal("diverging bucket value did not change the digest")
+	}
+	// Width is part of the fingerprint even with no samples.
+	if NewTimeline(env.Second).Digest() == NewTimeline(env.Millisecond).Digest() {
+		t.Fatal("timelines with different widths digest equally")
+	}
+}

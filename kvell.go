@@ -63,6 +63,7 @@ type Options struct {
 
 // DB is a KVell store.
 type DB struct {
+	//kvell:lint-ignore nogoroutine the public API runs on the real runtime; this mutex only guards Open/Close state
 	mu     sync.Mutex
 	e      *env.RealEnv
 	st     *core.Store
