@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check lint test race check
+# Packages with microbenchmarks covering the simulator's hot paths.
+BENCH_PKGS = ./internal/sim ./internal/slab ./internal/pagecache
+
+.PHONY: all build vet fmt-check lint test race check bench
 
 all: check
 
@@ -29,3 +32,15 @@ race:
 
 # Everything CI runs, in the same order.
 check: build vet fmt-check lint race
+
+# Runs the kernel/allocator/page-cache microbenchmarks and writes
+# BENCH_sim.json at the repo root: per-benchmark ns/op, allocs/op and ops/sec,
+# with before/after/speedup against the checked-in pre-optimization baseline
+# (results/bench_baseline.json). Non-blocking in CI; the artifact seeds the
+# perf trajectory across PRs.
+bench:
+	@tmp="$$(mktemp)"; \
+	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) | tee "$$tmp"; \
+	$(GO) run ./cmd/kvell-benchjson -baseline results/bench_baseline.json -o BENCH_sim.json < "$$tmp"; \
+	rm -f "$$tmp"; \
+	echo "wrote BENCH_sim.json"

@@ -4,17 +4,28 @@
 //
 //	kvell-bench -list
 //	kvell-bench -exp fig5 [-quick] [-seed 42]
-//	kvell-bench -exp all [-quick]
+//	kvell-bench -exp all [-quick] [-parallel 0]
+//	kvell-bench -exp fig5 -cpuprofile cpu.out -memprofile mem.out
 //
 // Each experiment prints a text table with the corresponding paper values
 // quoted underneath; EXPERIMENTS.md records a full paper-vs-measured
 // comparison.
+//
+// -parallel N runs up to N simulations concurrently (N=0: one per CPU).
+// Every simulation is single-threaded and self-contained, so results are
+// bit-identical at any parallelism; experiments still print in request
+// order. The pprof flags profile the run for performance work on the
+// simulator itself.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,10 +34,13 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (or 'all')")
-		quick = flag.Bool("quick", false, "shorter durations and smaller datasets")
-		seed  = flag.Int64("seed", 42, "simulation seed")
-		list  = flag.Bool("list", false, "list experiment ids")
+		exp        = flag.String("exp", "", "experiment id (or 'all')")
+		quick      = flag.Bool("quick", false, "shorter durations and smaller datasets")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		list       = flag.Bool("list", false, "list experiment ids")
+		parallel   = flag.Int("parallel", 1, "concurrent simulations (0 = one per CPU)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -41,26 +55,95 @@ func main() {
 		return
 	}
 
-	o := harness.Options{Quick: *quick, Seed: *seed}
-	run := func(e harness.Experiment) {
-		t0 := time.Now()
-		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
-		e.Run(o, os.Stdout)
-		fmt.Printf("---- (%s wall) ----\n\n", time.Since(t0).Round(time.Millisecond))
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
+	n := *parallel
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	o := harness.Options{Quick: *quick, Seed: *seed, Parallel: n}
+
+	var exps []harness.Experiment
 	if *exp == "all" {
-		for _, e := range harness.All() {
-			run(e)
+		exps = harness.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := harness.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	runExperiments(exps, o, n, os.Stdout)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+}
+
+// runExperiments executes exps and writes each banner-wrapped report to w in
+// request order. With parallel > 1 experiments also overlap each other (in
+// addition to intra-experiment RunAll concurrency), buffering their output
+// so the printed stream is unchanged.
+func runExperiments(exps []harness.Experiment, o harness.Options, parallel int, w io.Writer) {
+	run := func(e harness.Experiment, w io.Writer) {
+		t0 := time.Now()
+		fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title)
+		e.Run(o, w)
+		fmt.Fprintf(w, "---- (%s wall) ----\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+	if parallel <= 1 || len(exps) == 1 {
+		for _, e := range exps {
+			run(e, w)
 		}
 		return
 	}
-	for _, id := range strings.Split(*exp, ",") {
-		e, ok := harness.Find(strings.TrimSpace(id))
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
-			os.Exit(2)
+	bufs := make([]bytes.Buffer, len(exps))
+	idx := make(chan int)
+	done := make([]chan struct{}, len(exps))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	for t := 0; t < parallel; t++ {
+		go func() {
+			for i := range idx {
+				run(exps[i], &bufs[i])
+				close(done[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range exps {
+			idx <- i
 		}
-		run(e)
+		close(idx)
+	}()
+	for i := range exps {
+		<-done[i]
+		io.Copy(w, &bufs[i])
 	}
 }

@@ -1,0 +1,175 @@
+// Command kvell-benchjson converts `go test -bench` text output (on stdin)
+// into a machine-readable JSON summary, seeding the repository's performance
+// trajectory (BENCH_sim.json at the repo root; see `make bench`).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/sim | kvell-benchjson -o BENCH_sim.json
+//	... -baseline results/bench_baseline.json   # merge before/after and compute speedups
+//
+// The -baseline file is a previous output of this tool: its "after" numbers
+// become the new file's "before" numbers, so a checked-in baseline recorded
+// before an optimization yields before/after/speedup for every benchmark.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Metrics are one benchmark's measured numbers. OpsPerSec is the derived
+// rate (1e9 / ns_per_op): for the simulator kernel benchmarks it reads as
+// events (or handoffs, pops, bursts) per real second.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+// Entry is one benchmark's before/after record.
+type Entry struct {
+	Before  *Metrics `json:"before,omitempty"`
+	After   *Metrics `json:"after"`
+	Speedup float64  `json:"speedup,omitempty"` // before.ns_per_op / after.ns_per_op
+}
+
+// File is the output document.
+type File struct {
+	Schema     string            `json:"schema"`
+	Benchmarks map[string]*Entry `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "", "previous kvell-benchjson output whose after-numbers become before-numbers")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	f := &File{Schema: "kvell-bench-json/v1", Benchmarks: map[string]*Entry{}}
+
+	var pkg string
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, m, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		if pkg != "" {
+			name = pkg + "." + name
+		}
+		f.Benchmarks[name] = &Entry{After: m}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "kvell-benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(f.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "kvell-benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		buf, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvell-benchjson: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var base File
+		if err := json.Unmarshal(buf, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "kvell-benchjson: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		for name, b := range base.Benchmarks {
+			if b.After == nil {
+				continue
+			}
+			e, ok := f.Benchmarks[name]
+			if !ok {
+				continue
+			}
+			e.Before = b.After
+			if e.After.NsPerOp > 0 {
+				e.Speedup = round2(b.After.NsPerOp / e.After.NsPerOp)
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvell-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "kvell-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkEventThroughput-8  603848574  1.964 ns/op  0 B/op  0 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so names are stable across machines.
+func parseBenchLine(line string) (string, *Metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", nil, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	m := &Metrics{}
+	seen := false
+	for i := 1; i < len(fields)-1; i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.NsPerOp = v
+			seen = true
+		case "B/op":
+			m.BytesPerOp = v
+		case "allocs/op":
+			m.AllocsPerOp = v
+		}
+	}
+	if !seen {
+		return "", nil, false
+	}
+	if m.NsPerOp > 0 {
+		m.OpsPerSec = round2(1e9 / m.NsPerOp)
+	}
+	return name, m, true
+}
+
+// round2 keeps two decimals so the JSON diffs stay readable.
+func round2(v float64) float64 {
+	s := strconv.FormatFloat(v, 'f', 2, 64)
+	r, _ := strconv.ParseFloat(s, 64)
+	return r
+}

@@ -8,6 +8,7 @@ import (
 )
 
 func TestCalib(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("calibration run is slow")
 	}

@@ -16,6 +16,7 @@ import (
 // the cross-engine integration test that ties the whole repository
 // together.
 func TestEnginesAgreeWithModel(t *testing.T) {
+	t.Parallel()
 	const records = 400
 	type op struct {
 		kind kv.OpType

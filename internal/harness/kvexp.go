@@ -68,16 +68,19 @@ func fig5(o Options, w io.Writer) {
 		fmt.Fprintln(w)
 		for _, wl := range []byte{'A', 'B', 'C', 'D', 'E', 'F'} {
 			fmt.Fprintf(w, "YCSB %c          ", wl)
-			var kvellT, best float64
+			var specs []Spec
 			for _, k := range AllEngines {
-				r := Run(Spec{
+				specs = append(specs, Spec{
 					Name: fmt.Sprintf("fig5-%c-%s-%v", wl, dist, k), Seed: o.Seed,
 					Engine: k, Records: records,
 					Gen:      ycsbSpecGen(wl, dist, records, 1024),
 					Duration: dur,
 				})
+			}
+			var kvellT, best float64
+			for i, r := range o.runAll(specs...) {
 				fmt.Fprintf(w, " %14s", stats.FmtRate(r.Throughput))
-				if k == KVell {
+				if AllEngines[i] == KVell {
 					kvellT = r.Throughput
 				} else if r.Throughput > best {
 					best = r.Throughput
@@ -177,12 +180,15 @@ func fig7(o Options, w io.Writer) {
 	fmt.Fprintf(w, "Figure 7: per-second throughput timelines, uniform distribution\n")
 	for _, wl := range []byte{'A', 'B', 'C', 'E'} {
 		fmt.Fprintf(w, "\n-- YCSB %c --\n", wl)
+		var specs []Spec
 		for _, k := range []EngineKind{KVell, RocksLike, PebblesLike, WiredTigerLike} {
-			r := Run(Spec{
+			specs = append(specs, Spec{
 				Name: "fig7", Seed: o.Seed, Engine: k, Records: records,
 				Gen:      ycsbSpecGen(wl, ycsb.Uniform, records, 1024),
 				Duration: dur, Warmup: dur / 10, Bucket: dur / 16,
 			})
+		}
+		for _, r := range o.runAll(specs...) {
 			min, max := r.Timeline.MinMax(1)
 			fmt.Fprintf(w, "%-16s avg=%8s min=%8s max=%8s |", r.EngineName,
 				stats.FmtRate(r.Throughput), stats.FmtRate(min), stats.FmtRate(max))
@@ -201,11 +207,14 @@ func table5(o Options, w io.Writer) {
 	dur := o.dur(8 * env.Second)
 	fmt.Fprintf(w, "Table 5: p99 and max request latency, YCSB A uniform\n\n")
 	fmt.Fprintf(w, "%-18s %10s %10s\n", "Engine", "p99", "max")
+	var specs []Spec
 	for _, k := range []EngineKind{KVell, RocksLike, PebblesLike, WiredTigerLike} {
-		r := Run(Spec{
+		specs = append(specs, Spec{
 			Name: "table5", Seed: o.Seed, Engine: k, Records: records,
 			Gen: ycsbSpecGen('A', ycsb.Uniform, records, 1024), Duration: dur,
 		})
+	}
+	for _, r := range o.runAll(specs...) {
 		fmt.Fprintf(w, "%-18s %10s %10s\n", r.EngineName,
 			stats.FmtDur(r.Lat.Percentile(0.99)), stats.FmtDur(r.Lat.Max()))
 	}
@@ -224,17 +233,20 @@ func fig8(o Options, w io.Writer) {
 	fmt.Fprintln(w)
 	for _, wl := range []byte{'A', 'B', 'C', 'D', 'E', 'F'} {
 		fmt.Fprintf(w, "YCSB %c    ", wl)
-		var kvellT, best float64
+		var specs []Spec
 		for _, k := range AllEngines {
-			r := Run(Spec{
+			specs = append(specs, Spec{
 				Name: "fig8", Seed: o.Seed, Engine: k, Records: records,
 				Profile: device.AmazonNVMe(), NDisks: 8, Cores: 32,
 				Clients:  map[bool]int{true: 16, false: 48}[k == KVell],
 				Gen:      ycsbSpecGen(wl, ycsb.Uniform, records, 1024),
 				Duration: dur,
 			})
+		}
+		var kvellT, best float64
+		for i, r := range o.runAll(specs...) {
 			fmt.Fprintf(w, " %14s", stats.FmtRate(r.Throughput))
-			if k == KVell {
+			if AllEngines[i] == KVell {
 				kvellT = r.Throughput
 			} else if r.Throughput > best {
 				best = r.Throughput

@@ -14,6 +14,21 @@ type Options struct {
 	// test -bench`); full mode uses the DESIGN.md §4 scaled sizes.
 	Quick bool
 	Seed  int64
+	// Parallel is the number of independent simulations an experiment may
+	// run concurrently via RunAll (0 or 1: sequential, < 0: GOMAXPROCS).
+	// Results and output are identical at any setting; only wall-clock
+	// changes. See RunAll for the determinism argument.
+	Parallel int
+}
+
+// runAll executes specs with the options' parallelism, sequential by
+// default, returning results in spec order.
+func (o Options) runAll(specs ...Spec) []Result {
+	p := o.Parallel
+	if p == 0 {
+		p = 1
+	}
+	return RunAll(specs, p)
 }
 
 // dur scales a full-mode duration down in quick mode.

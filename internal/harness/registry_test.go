@@ -40,6 +40,7 @@ func TestRegistryComplete(t *testing.T) {
 // TestCheapExperimentsProduceOutput runs the fast experiments end to end;
 // the expensive ones are exercised by `go test -bench` and kvell-bench.
 func TestCheapExperimentsProduceOutput(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("runs simulations")
 	}

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 
 	"kvell/internal/core"
 	"kvell/internal/device"
@@ -297,4 +298,49 @@ func Run(spec Spec) Result {
 	}
 	res.Throughput = float64(res.Ops) / (float64(spec.Duration) / float64(env.Second))
 	return res
+}
+
+// RunAll executes independent specs and returns their results in spec order.
+// With parallel > 1 the specs run concurrently on the Go runtime's OS
+// threads (parallel <= 0 means GOMAXPROCS). Each Sim is single-threaded and
+// owns every piece of state it touches — clock, rng, engine, disks, stats —
+// so per-spec determinism is untouched: concurrency can only change
+// wall-clock time, never a measurement. Cross-spec ordering only affects
+// when results become available, and the returned slice is in spec order.
+func RunAll(specs []Spec, parallel int) []Result {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(specs) {
+		parallel = len(specs)
+	}
+	results := make([]Result, len(specs))
+	if parallel <= 1 {
+		for i := range specs {
+			results[i] = Run(specs[i])
+		}
+		return results
+	}
+	// Plain channels rather than sync.WaitGroup: the determinism lint bans
+	// raw sync primitives in sim-driven packages wholesale, and the two
+	// suppressions below are the only sanctioned concurrency in the harness.
+	idx := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < parallel; w++ {
+		//kvell:lint-ignore nogoroutine RunAll fans independent whole-simulation runs out across OS threads; each Sim is fully self-contained, so no simulated state is shared
+		go func() {
+			for i := range idx {
+				results[i] = Run(specs[i])
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	for w := 0; w < parallel; w++ {
+		<-done
+	}
+	return results
 }

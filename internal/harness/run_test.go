@@ -14,6 +14,7 @@ func ycsbGen(w byte, dist ycsb.Distribution, records int64, item int) func(int64
 }
 
 func TestSmokeKVellYCSBA(t *testing.T) {
+	t.Parallel()
 	r := Run(Spec{
 		Name:     "smoke-kvell",
 		Engine:   KVell,
@@ -34,6 +35,7 @@ func TestSmokeKVellYCSBA(t *testing.T) {
 }
 
 func TestSmokeBaselinesYCSBA(t *testing.T) {
+	t.Parallel()
 	for _, k := range []EngineKind{RocksLike, PebblesLike, WiredTigerLike, TokuLike} {
 		r := Run(Spec{
 			Name:     "smoke",

@@ -13,6 +13,68 @@ func BenchmarkEventThroughput(b *testing.B) {
 			p.Sleep(1)
 		}
 	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(-1); err != nil {
+		b.Fatal(err)
+	}
+	s.Close()
+}
+
+// BenchmarkPoolUse measures charging multi-quantum CPU bursts to a core pool
+// (the path compactions and other long CPU work take).
+func BenchmarkPoolUse(b *testing.B) {
+	s := New(1)
+	pool := NewPool(s, 4) // Quantum is 200us, so 1ms bursts split 5 ways
+	n := 0
+	s.Go("worker", func(p *Proc) {
+		for n < b.N {
+			n++
+			pool.Use(p, 1000*1000)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(-1); err != nil {
+		b.Fatal(err)
+	}
+	s.Close()
+}
+
+// BenchmarkQueuePushPop measures FIFO mechanics at a realistic standing depth
+// (a worker's request queue), where a slice-backed queue pays an O(depth)
+// shift per pop.
+func BenchmarkQueuePushPop(b *testing.B) {
+	s := New(1)
+	q := NewQueue(s)
+	for i := 0; i < 1024; i++ {
+		q.Push(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		q.TryPop(1)
+	}
+}
+
+// BenchmarkMutexHandoff measures contended lock ownership transfer between
+// two procs (wake + park per handoff, the engines' hottest sync pattern).
+func BenchmarkMutexHandoff(b *testing.B) {
+	s := New(1)
+	m := NewMutex(s)
+	n := 0
+	for w := 0; w < 2; w++ {
+		s.Go("worker", func(p *Proc) {
+			for n < b.N {
+				m.Lock(p)
+				n++
+				p.Sleep(0) // force the other proc to queue on m
+				m.Unlock(p)
+			}
+		})
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := s.Run(-1); err != nil {
 		b.Fatal(err)

@@ -9,7 +9,9 @@ type Station struct {
 	busy Time   // total busy nanoseconds across servers (utilization integral)
 	ops  int64
 	// OnBusy, if set, is called for each service interval [start, end).
-	// Used to build utilization timelines.
+	// Used to build utilization timelines. Callbacks must be additive over
+	// interval splits (Pool.Use may report one long contiguous burst as
+	// several quantum-sized intervals or vice versa).
 	OnBusy func(start, end Time)
 }
 
@@ -55,6 +57,18 @@ func (st *Station) Backlog(now Time) Time {
 	return max
 }
 
+// minFree returns the earliest per-server free time (the start bound for the
+// next arrival).
+func (st *Station) minFree() Time {
+	m := st.free[0]
+	for _, f := range st.free[1:] {
+		if f < m {
+			m = f
+		}
+	}
+	return m
+}
+
 // Assign books a service of duration d arriving at time now and returns the
 // completion time. The service starts when the earliest-free server is
 // available (FCFS).
@@ -75,6 +89,26 @@ func (st *Station) Assign(now, d Time) (done Time) {
 	st.ops++
 	if st.OnBusy != nil {
 		st.OnBusy(start, done)
+	}
+	return done
+}
+
+// assignRun books a d-long service as the same sequence of quantum-sized
+// Assign calls a proc re-arriving at each burst's completion would make, and
+// returns the final completion time. Because each burst arrives exactly when
+// the previous one completes, the bursts are contiguous and the resulting
+// server state, busy time, op count and OnBusy callbacks are bit-identical
+// to the burst-by-burst path — only the park/resume cycles between bursts
+// are skipped.
+func (st *Station) assignRun(now, d, quantum Time) (done Time) {
+	done = now
+	for d > 0 {
+		burst := d
+		if burst > quantum {
+			burst = quantum
+		}
+		done = st.Assign(done, burst)
+		d -= burst
 	}
 	return done
 }
@@ -111,7 +145,36 @@ func (p *Pool) Station() *Station { return p.st }
 
 // Use charges d nanoseconds of CPU work to the calling proc, blocking it
 // until the work completes.
+//
+// Fast path: when no pending event fires before the burst would complete,
+// the quantum-by-quantum park/resume cycle is provably unobservable — no
+// other proc can arrive at the station or watch the clock between bursts —
+// so the whole burst is booked analytically (preserving the exact per-burst
+// station accounting) and the proc sleeps once. Otherwise it falls back to
+// burst-by-burst charging, so schedules with real time-sharing interleavings
+// are unchanged.
 func (p *Pool) Use(pr *Proc, d Time) {
+	if d <= 0 {
+		return
+	}
+	s := p.s
+	if p.Quantum > 0 && d > p.Quantum {
+		done := p.st.minFree()
+		if done < s.now {
+			done = s.now
+		}
+		done += d
+		// The closed check keeps teardown exact: a proc charging CPU from a
+		// shutdown defer books one burst and then takes the park panic, so
+		// the analytic path would over-book the station.
+		if !s.closed && s.noEventBefore(done) && (s.until < 0 || done <= s.until) {
+			if got := p.st.assignRun(s.now, d, p.Quantum); got != done {
+				panic("sim: analytic burst disagrees with FCFS booking")
+			}
+			pr.SleepUntil(done)
+			return
+		}
+	}
 	for d > 0 {
 		burst := d
 		if p.Quantum > 0 && burst > p.Quantum {
@@ -123,13 +186,27 @@ func (p *Pool) Use(pr *Proc, d Time) {
 	}
 }
 
+// popProc removes and returns the front of a waiter list, shifting in place
+// so the slice's capacity is reused (no steady-state allocation).
+func popProc(ws *[]*Proc) *Proc {
+	w := *ws
+	p := w[0]
+	copy(w, w[1:])
+	w[len(w)-1] = nil
+	*ws = w[:len(w)-1]
+	return p
+}
+
 // Mutex is a FIFO mutual-exclusion lock for procs. Ownership transfers
 // directly to the longest-waiting proc on unlock.
 type Mutex struct {
 	s       *Sim
 	locked  bool
 	waiters []*Proc
-	// Contended counts Lock calls that had to wait; Acquires counts all.
+	// Acquires counts all acquisition attempts (Lock calls and TryLock
+	// calls, successful or not); Contended counts the attempts that did not
+	// get the lock immediately (Lock calls that waited, failed TryLocks), so
+	// Contended/Acquires is the contention ratio.
 	Acquires  int64
 	Contended int64
 }
@@ -150,12 +227,14 @@ func (m *Mutex) Lock(p *Proc) {
 	// Ownership was transferred to us by Unlock.
 }
 
-// TryLock acquires m if it is free and reports whether it did.
+// TryLock acquires m if it is free and reports whether it did. Failed tries
+// count as contended acquisition attempts, mirroring Lock's accounting.
 func (m *Mutex) TryLock() bool {
+	m.Acquires++
 	if m.locked {
+		m.Contended++
 		return false
 	}
-	m.Acquires++
 	m.locked = true
 	return true
 }
@@ -166,9 +245,7 @@ func (m *Mutex) Unlock(p *Proc) {
 		panic("sim: unlock of unlocked mutex")
 	}
 	if len(m.waiters) > 0 {
-		next := m.waiters[0]
-		m.waiters = m.waiters[1:]
-		m.s.wake(next) // stays locked; next proc now owns it
+		m.s.wake(popProc(&m.waiters)) // stays locked; next proc now owns it
 		return
 	}
 	m.locked = false
@@ -247,23 +324,25 @@ func (c *Cond) Signal() {
 	if len(c.waiters) == 0 {
 		return
 	}
-	p := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	c.s.wake(p)
+	c.s.wake(popProc(&c.waiters))
 }
 
 // Broadcast wakes all waiting procs.
 func (c *Cond) Broadcast() {
-	for _, p := range c.waiters {
+	for i, p := range c.waiters {
 		c.s.wake(p)
+		c.waiters[i] = nil
 	}
-	c.waiters = nil
+	c.waiters = c.waiters[:0]
 }
 
-// Queue is an unbounded FIFO for passing work between procs.
+// Queue is an unbounded FIFO for passing work between procs. Items live in a
+// ring buffer, so pushes and pops are O(1) amortized with no per-item shift.
 type Queue struct {
 	s       *Sim
-	items   []any
+	buf     []any // len(buf) is a power of two (or 0)
+	head    int
+	n       int
 	waiters []*Proc
 	closed  bool
 	// Pushes counts total items ever pushed (for stats).
@@ -274,19 +353,25 @@ type Queue struct {
 func NewQueue(s *Sim) *Queue { return &Queue{s: s} }
 
 // Len returns the number of queued items.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return q.n }
 
 // Push appends v and wakes one waiter.
 func (q *Queue) Push(v any) {
 	if q.closed {
 		panic("sim: push to closed queue")
 	}
-	q.items = append(q.items, v)
+	if q.n == len(q.buf) {
+		grown := make([]any, max(64, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
+	q.n++
 	q.Pushes++
 	if len(q.waiters) > 0 {
-		p := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		q.s.wake(p)
+		q.s.wake(popProc(&q.waiters))
 	}
 }
 
@@ -294,31 +379,38 @@ func (q *Queue) Push(v any) {
 // poppable; PopWait returns nil once the queue is closed and empty.
 func (q *Queue) Close() {
 	q.closed = true
-	for _, p := range q.waiters {
+	for i, p := range q.waiters {
 		q.s.wake(p)
+		q.waiters[i] = nil
 	}
-	q.waiters = nil
+	q.waiters = q.waiters[:0]
 }
 
 // TryPop removes and returns up to max items without blocking.
 func (q *Queue) TryPop(max int) []any {
-	if len(q.items) == 0 || max <= 0 {
+	if q.n == 0 || max <= 0 {
 		return nil
 	}
-	n := max
-	if n > len(q.items) {
-		n = len(q.items)
+	k := max
+	if k > q.n {
+		k = q.n
 	}
-	out := make([]any, n)
-	copy(out, q.items[:n])
-	q.items = append(q.items[:0], q.items[n:]...)
+	out := make([]any, k)
+	mask := len(q.buf) - 1
+	for i := 0; i < k; i++ {
+		j := (q.head + i) & mask
+		out[i] = q.buf[j]
+		q.buf[j] = nil
+	}
+	q.head = (q.head + k) & mask
+	q.n -= k
 	return out
 }
 
 // PopWait removes and returns up to max items, blocking the proc until at
 // least one is available. It returns nil if the queue is closed and empty.
 func (q *Queue) PopWait(p *Proc, max int) []any {
-	for len(q.items) == 0 {
+	for q.n == 0 {
 		if q.closed {
 			return nil
 		}

@@ -13,10 +13,29 @@
 // engines are built from: FCFS multi-server stations (CPU cores, device
 // channels), mutexes, spin-mutexes that burn simulated CPU while waiting,
 // condition variables and FIFO queues.
+//
+// # Hot-path design
+//
+// The kernel processes hundreds of millions of events per harness run, so the
+// scheduling path is engineered for throughput (see DESIGN.md "Kernel
+// performance model"):
+//
+//   - event structs come from a free list, so steady-state scheduling does
+//     not allocate;
+//   - future events live in a concrete 4-ary min-heap ordered on (at, seq) —
+//     no interface boxing, shallower than a binary heap;
+//   - events scheduled at exactly the current time (wake-ups, same-instant
+//     handoffs, I/O completion fan-out) bypass the heap through a FIFO ring
+//     lane, which is ordered by construction;
+//   - a proc sleeping past every pending event skips the park/resume channel
+//     rendezvous entirely and just advances the clock ("fast resume").
+//
+// Every shortcut is gated on a precondition under which it is provably
+// unobservable, so optimized and unoptimized kernels produce bit-identical
+// schedules (locked by the golden digests in internal/harness/testdata).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"runtime/debug"
@@ -32,21 +51,13 @@ type event struct {
 	fn   func() // ... or run this function on the scheduler
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (at, seq); seq is unique, so the order is total.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)    { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)      { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() (x any)    { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }
-func (h eventHeap) Peek() *event     { return h[0] }
-func (h *eventHeap) PushEv(e *event) { heap.Push(h, e) }
-func (h *eventHeap) PopEv() *event   { return heap.Pop(h).(*event) }
 
 // errShutdown unwinds proc goroutines when the simulation is closed.
 type shutdownError struct{}
@@ -57,24 +68,39 @@ var errShutdown = shutdownError{}
 
 // Sim is a discrete-event simulation.
 type Sim struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
+	now Time
+	seq uint64
+
+	// heap is a 4-ary min-heap on (at, seq) holding events strictly in the
+	// future. Events at the current instant go to the lane ring instead.
+	heap []*event
+	// lane is a FIFO ring of events scheduled at exactly the current time.
+	// Entries have nondecreasing at and increasing seq (at is clamped to a
+	// nondecreasing clock), so front-of-lane is the lane's (at, seq) minimum
+	// and no heap discipline is needed.
+	lane     []*event // len(lane) is a power of two
+	laneHead int
+	laneLen  int
+	// free is the event free list; steady-state scheduling never allocates.
+	free []*event
+
+	until   Time          // boundary of the Run in progress (< 0: none)
 	yield   chan struct{} // procs hand control back to the scheduler here
-	parked  map[*Proc]struct{}
 	closed  bool
 	failed  error
 	rng     *rand.Rand
-	live    int    // procs started and not yet finished
-	procSeq uint64 // creation order; teardown resumes parked procs in this order
+	live    int     // procs started and not yet finished
+	procSeq uint64  // creation order; teardown resumes parked procs in this order
+	procs   []*Proc // all tracked procs in creation order (compacted lazily)
+	done    int     // finished procs still present in procs
 }
 
 // New returns an empty simulation whose random source is seeded with seed.
 func New(seed int64) *Sim {
 	return &Sim{
-		yield:  make(chan struct{}),
-		parked: make(map[*Proc]struct{}),
-		rng:    rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+		until: -1,
+		rng:   rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -88,12 +114,163 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 // Live reports the number of procs that have been started and not finished.
 func (s *Sim) Live() int { return s.live }
 
-func (s *Sim) schedule(at Time, p *Proc, fn func()) {
-	if at < s.now {
-		at = s.now
+// getEvent pops the free list (or allocates) and initializes the event.
+func (s *Sim) getEvent(at Time, p *Proc, fn func()) *event {
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		e = new(event)
 	}
 	s.seq++
-	s.events.PushEv(&event{at: at, seq: s.seq, proc: p, fn: fn})
+	e.at, e.seq, e.proc, e.fn = at, s.seq, p, fn
+	return e
+}
+
+// putEvent recycles a dispatched event, dropping its references.
+func (s *Sim) putEvent(e *event) {
+	e.proc, e.fn = nil, nil
+	s.free = append(s.free, e)
+}
+
+func (s *Sim) schedule(at Time, p *Proc, fn func()) {
+	if at <= s.now {
+		s.lanePush(s.getEvent(s.now, p, fn))
+		return
+	}
+	s.heapPush(s.getEvent(at, p, fn))
+}
+
+// lanePush appends to the same-instant FIFO ring, growing it as needed.
+func (s *Sim) lanePush(e *event) {
+	if s.laneLen == len(s.lane) {
+		grown := make([]*event, max(64, 2*len(s.lane)))
+		for i := 0; i < s.laneLen; i++ {
+			grown[i] = s.lane[(s.laneHead+i)&(len(s.lane)-1)]
+		}
+		s.lane, s.laneHead = grown, 0
+	}
+	s.lane[(s.laneHead+s.laneLen)&(len(s.lane)-1)] = e
+	s.laneLen++
+}
+
+func (s *Sim) lanePop() *event {
+	e := s.lane[s.laneHead]
+	s.lane[s.laneHead] = nil
+	s.laneHead = (s.laneHead + 1) & (len(s.lane) - 1)
+	s.laneLen--
+	return e
+}
+
+// heapPush sifts e up a 4-ary heap (parent of i is (i-1)/4).
+func (s *Sim) heapPush(e *event) {
+	h := append(s.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	s.heap = h
+}
+
+// heapPop removes and returns the (at, seq)-minimum (children of i are
+// 4i+1..4i+4).
+func (s *Sim) heapPop() *event {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if eventLess(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !eventLess(h[best], h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	s.heap = h
+	return top
+}
+
+// pending reports the number of undispatched events.
+func (s *Sim) pending() int { return s.laneLen + len(s.heap) }
+
+// peek returns the next event in (at, seq) order without removing it.
+func (s *Sim) peek() *event {
+	if s.laneLen == 0 {
+		return s.heap[0]
+	}
+	le := s.lane[s.laneHead]
+	if len(s.heap) == 0 || eventLess(le, s.heap[0]) {
+		return le
+	}
+	return s.heap[0]
+}
+
+// pop removes and returns the next event in (at, seq) order.
+func (s *Sim) pop() *event {
+	if s.laneLen == 0 {
+		return s.heapPop()
+	}
+	if len(s.heap) == 0 || eventLess(s.lane[s.laneHead], s.heap[0]) {
+		return s.lanePop()
+	}
+	return s.heapPop()
+}
+
+// noEventBefore reports whether no pending event fires strictly before t.
+// The earliest pending (at, seq) is the min of lane front and heap root, so
+// the check is O(1).
+func (s *Sim) noEventBefore(t Time) bool {
+	if s.laneLen > 0 && s.lane[s.laneHead].at < t {
+		return false
+	}
+	if len(s.heap) > 0 && s.heap[0].at < t {
+		return false
+	}
+	return true
+}
+
+// canFastResume reports whether a proc sleeping until t may simply advance
+// the clock instead of parking: its wake-up would be the very next event
+// dispatched (no pending event at or before t — a pending event AT t was
+// scheduled earlier and wins the seq tie-break), and Run's boundary does not
+// cut the sleep short. Under this precondition the park/resume rendezvous is
+// unobservable: nothing else runs between park and wake.
+func (s *Sim) canFastResume(t Time) bool {
+	if s.closed {
+		// Teardown: a sleeping proc must park and take the shutdown panic,
+		// exactly like the unoptimized kernel.
+		return false
+	}
+	if s.until >= 0 && t > s.until {
+		return false
+	}
+	if s.laneLen > 0 {
+		return false
+	}
+	return len(s.heap) == 0 || s.heap[0].at > t
 }
 
 // At schedules fn to run on the scheduler at time at (clamped to now). fn
@@ -105,10 +282,13 @@ func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
 	s.procSeq++
 	p := &Proc{sim: s, name: name, id: s.procSeq, resume: make(chan struct{})}
 	s.live++
+	s.trackProc(p)
 	go func() {
 		<-p.resume
 		defer func() {
 			s.live--
+			s.done++
+			p.done = true
 			if r := recover(); r != nil {
 				if _, ok := r.(shutdownError); !ok && s.failed == nil {
 					s.failed = fmt.Errorf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack())
@@ -124,9 +304,27 @@ func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
 	return p
 }
 
+// trackProc records p for teardown, compacting finished procs once they
+// outnumber live ones so long simulations don't accumulate dead entries.
+func (s *Sim) trackProc(p *Proc) {
+	if s.done > 64 && s.done > len(s.procs)/2 {
+		kept := s.procs[:0]
+		for _, q := range s.procs {
+			if !q.done {
+				kept = append(kept, q)
+			}
+		}
+		for i := len(kept); i < len(s.procs); i++ {
+			s.procs[i] = nil
+		}
+		s.procs, s.done = kept, 0
+	}
+	s.procs = append(s.procs, p)
+}
+
 // resumeProc hands control to p and waits until it parks or finishes.
 func (s *Sim) resumeProc(p *Proc) {
-	delete(s.parked, p)
+	p.parked = false
 	p.resume <- struct{}{}
 	<-s.yield
 }
@@ -139,18 +337,21 @@ func (s *Sim) wake(p *Proc) { s.schedule(s.now, p, nil) }
 // until (use until < 0 for no limit). It returns the first proc panic, if
 // any. Run may be called repeatedly to advance a simulation in stages.
 func (s *Sim) Run(until Time) error {
-	for len(s.events) > 0 && s.failed == nil {
-		if until >= 0 && s.events.Peek().at > until {
+	s.until = until
+	for s.pending() > 0 && s.failed == nil {
+		if until >= 0 && s.peek().at > until {
 			s.now = until
 			break
 		}
-		e := s.events.PopEv()
+		e := s.pop()
 		s.now = e.at
+		fn, p := e.fn, e.proc
+		s.putEvent(e)
 		switch {
-		case e.fn != nil:
-			e.fn()
-		case e.proc != nil:
-			s.resumeProc(e.proc)
+		case fn != nil:
+			fn()
+		case p != nil:
+			s.resumeProc(p)
 		}
 	}
 	if until >= 0 && s.now < until && s.failed == nil {
@@ -165,21 +366,27 @@ func (s *Sim) Run(until Time) error {
 func (s *Sim) Close() error {
 	s.closed = true
 	// Drain scheduled proc wake-ups first so no proc is resumed twice.
-	for len(s.events) > 0 {
-		e := s.events.PopEv()
-		if e.proc != nil {
-			s.resumeProc(e.proc)
+	for s.pending() > 0 {
+		e := s.pop()
+		p := e.proc
+		s.putEvent(e)
+		if p != nil {
+			s.resumeProc(p)
 		}
 	}
-	// Resume survivors in creation order: s.parked is a map, and Go's
-	// randomized iteration order must not decide which proc panic is
-	// recorded first in s.failed.
-	for len(s.parked) > 0 {
+	// Resume survivors in creation order (s.procs is append-ordered by id):
+	// which proc panic is recorded first in s.failed must not depend on
+	// anything but creation order.
+	for {
 		var next *Proc
-		for p := range s.parked {
-			if next == nil || p.id < next.id {
+		for _, p := range s.procs {
+			if p.parked && !p.done {
 				next = p
+				break
 			}
+		}
+		if next == nil {
+			break
 		}
 		s.resumeProc(next)
 	}
@@ -192,6 +399,8 @@ type Proc struct {
 	name   string
 	id     uint64 // creation order, for deterministic teardown
 	resume chan struct{}
+	parked bool
+	done   bool
 }
 
 // Name returns the proc's diagnostic name.
@@ -207,7 +416,7 @@ func (p *Proc) Now() Time { return p.sim.now }
 // arranged a wake-up (a scheduled event or registration with a resource).
 func (p *Proc) park() {
 	s := p.sim
-	s.parked[p] = struct{}{}
+	p.parked = true
 	s.yield <- struct{}{}
 	<-p.resume
 	if s.closed {
@@ -221,12 +430,21 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.sim.schedule(p.sim.now+d, p, nil)
-	p.park()
+	p.sleepUntil(p.sim.now + d)
 }
 
 // SleepUntil suspends the proc until virtual time t.
-func (p *Proc) SleepUntil(t Time) {
-	p.sim.schedule(t, p, nil)
+func (p *Proc) SleepUntil(t Time) { p.sleepUntil(t) }
+
+func (p *Proc) sleepUntil(t Time) {
+	s := p.sim
+	if t < s.now {
+		t = s.now // match schedule's clamp
+	}
+	if s.canFastResume(t) {
+		s.now = t
+		return
+	}
+	s.schedule(t, p, nil)
 	p.park()
 }

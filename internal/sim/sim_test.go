@@ -228,6 +228,35 @@ func TestMutexFIFOAndOwnershipTransfer(t *testing.T) {
 	}
 }
 
+func TestMutexTryLockCountsFailedAttempts(t *testing.T) {
+	s := New(1)
+	m := NewMutex(s)
+	if !m.TryLock() {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	// Lock counts every attempt; TryLock must too, or contention ratios
+	// computed as Contended/Acquires are skewed.
+	if m.Acquires != 3 {
+		t.Errorf("Acquires = %d, want 3 (failed tries must count)", m.Acquires)
+	}
+	if m.Contended != 2 {
+		t.Errorf("Contended = %d, want 2", m.Contended)
+	}
+	m.Unlock(nil)
+	if !m.TryLock() {
+		t.Fatal("TryLock after unlock failed")
+	}
+	if m.Acquires != 4 || m.Contended != 2 {
+		t.Errorf("after re-acquire: Acquires=%d Contended=%d, want 4, 2", m.Acquires, m.Contended)
+	}
+}
+
 func TestSpinMutexBurnsCPU(t *testing.T) {
 	s := New(1)
 	pool := NewPool(s, 4)
