@@ -1,9 +1,11 @@
 GO ?= go
 
-# Packages with microbenchmarks covering the simulator's hot paths.
-BENCH_PKGS = ./internal/sim ./internal/slab ./internal/pagecache
+# Packages with microbenchmarks covering the simulator's hot paths and the
+# data plane (workload generation, page cache, index, stats recording).
+BENCH_PKGS = ./internal/sim ./internal/slab ./internal/pagecache \
+	./internal/ycsb ./internal/btree ./internal/stats
 
-.PHONY: all build vet fmt-check lint test race check bench
+.PHONY: all build vet fmt-check lint test race check bench alloc-budget
 
 all: check
 
@@ -30,8 +32,13 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
+# Zero-allocation budgets for the data-plane hot paths (testing.AllocsPerRun
+# tests named TestAllocBudget*); a regression here fails the build.
+alloc-budget:
+	$(GO) test -run AllocBudget ./...
+
 # Everything CI runs, in the same order.
-check: build vet fmt-check lint race
+check: build vet fmt-check lint alloc-budget race
 
 # Runs the kernel/allocator/page-cache microbenchmarks and writes
 # BENCH_sim.json at the repo root: per-benchmark ns/op, allocs/op and ops/sec,
@@ -41,6 +48,7 @@ check: build vet fmt-check lint race
 bench:
 	@tmp="$$(mktemp)"; \
 	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) | tee "$$tmp"; \
-	$(GO) run ./cmd/kvell-benchjson -baseline results/bench_baseline.json -o BENCH_sim.json < "$$tmp"; \
+	$(GO) run ./cmd/kvell-benchjson -baseline results/bench_baseline.json \
+		-wall results/wallclock.json -o BENCH_sim.json < "$$tmp"; \
 	rm -f "$$tmp"; \
 	echo "wrote BENCH_sim.json"

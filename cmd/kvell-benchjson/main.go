@@ -32,22 +32,39 @@ type Metrics struct {
 	OpsPerSec   float64 `json:"ops_per_sec"`
 }
 
-// Entry is one benchmark's before/after record.
+// Entry is one benchmark's before/after record. Speedup is a pointer so a
+// benchmark absent from the baseline serializes as "speedup": null rather
+// than silently omitting the field (a 1.0x result must stay distinguishable
+// from "never compared").
 type Entry struct {
 	Before  *Metrics `json:"before,omitempty"`
 	After   *Metrics `json:"after"`
-	Speedup float64  `json:"speedup,omitempty"` // before.ns_per_op / after.ns_per_op
+	Speedup *float64 `json:"speedup"` // before.ns_per_op / after.ns_per_op
+}
+
+// Wall is a hand-recorded end-to-end wall-clock measurement for a full
+// experiment run — the number microbenchmarks cannot capture. The values
+// come from the checked-in -wall file, not from this run, so the record
+// survives `make bench` regeneration; Speedup is recomputed here.
+type Wall struct {
+	Command   string  `json:"command"`
+	BeforeSec float64 `json:"before_sec"`
+	AfterSec  float64 `json:"after_sec"`
+	Speedup   float64 `json:"speedup"`
+	Note      string  `json:"note,omitempty"`
 }
 
 // File is the output document.
 type File struct {
 	Schema     string            `json:"schema"`
+	WallClocks map[string]*Wall  `json:"wall_clocks,omitempty"`
 	Benchmarks map[string]*Entry `json:"benchmarks"`
 }
 
 func main() {
 	var (
 		baseline = flag.String("baseline", "", "previous kvell-benchjson output whose after-numbers become before-numbers")
+		wall     = flag.String("wall", "", "JSON file of recorded end-to-end wall-clock timings to carry into the output")
 		out      = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -104,7 +121,25 @@ func main() {
 			}
 			e.Before = b.After
 			if e.After.NsPerOp > 0 {
-				e.Speedup = round2(b.After.NsPerOp / e.After.NsPerOp)
+				s := round2(b.After.NsPerOp / e.After.NsPerOp)
+				e.Speedup = &s
+			}
+		}
+	}
+
+	if *wall != "" {
+		buf, err := os.ReadFile(*wall)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvell-benchjson: wall: %v\n", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(buf, &f.WallClocks); err != nil {
+			fmt.Fprintf(os.Stderr, "kvell-benchjson: wall: %v\n", err)
+			os.Exit(1)
+		}
+		for _, w := range f.WallClocks {
+			if w.AfterSec > 0 {
+				w.Speedup = round2(w.BeforeSec / w.AfterSec)
 			}
 		}
 	}

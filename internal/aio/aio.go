@@ -14,12 +14,18 @@ import (
 )
 
 // IO is a single asynchronous page request. Tag carries engine state
-// through to completion.
+// through to completion. IO values may be pooled by the worker: the device
+// request and completion callback are embedded and wired once, so resubmitting
+// a recycled IO allocates nothing.
 type IO struct {
 	Op   device.Op
 	Page int64
 	Buf  []byte
 	Tag  any
+
+	eng  *Engine
+	req  device.Request
+	done func()
 }
 
 // Engine is a per-worker asynchronous I/O context.
@@ -29,6 +35,7 @@ type Engine struct {
 	mu        env.Mutex
 	cond      env.Cond
 	completed []*IO
+	spare     []*IO // previous completion batch, recycled as the next list
 	inflight  int
 
 	// Stats
@@ -70,12 +77,10 @@ func (a *Engine) Submit(c env.Ctx, ios []*IO) {
 	a.inflight += len(ios)
 	a.mu.Unlock(c)
 	for _, io := range ios {
-		io := io
-		a.dev.Submit(&device.Request{
-			Op:   io.Op,
-			Page: io.Page,
-			Buf:  io.Buf,
-			Done: func() {
+		if io.done == nil || io.eng != a {
+			io := io
+			io.eng = a
+			io.done = func() {
 				// Runs on the simulation scheduler or a real executor
 				// goroutine; both may take the mutex (never held across a
 				// park by the worker).
@@ -83,14 +88,18 @@ func (a *Engine) Submit(c env.Ctx, ios []*IO) {
 				a.completed = append(a.completed, io)
 				a.mu.Unlock(nil)
 				a.cond.Signal(nil)
-			},
-		})
+			}
+		}
+		io.req = device.Request{Op: io.Op, Page: io.Page, Buf: io.Buf, Done: io.done}
+		a.dev.Submit(&io.req)
 	}
 }
 
 // GetEvents blocks until at least min completions are available (or none
 // can ever arrive) and returns them, charging one system call
 // (io_getevents). min is clamped to the number of requests in flight.
+// The returned slice is only valid until the next GetEvents call, which
+// recycles its backing array.
 func (a *Engine) GetEvents(c env.Ctx, min int) []*IO {
 	a.mu.Lock(c)
 	if min > a.inflight {
@@ -104,7 +113,11 @@ func (a *Engine) GetEvents(c env.Ctx, min int) []*IO {
 		a.cond.Wait(c)
 	}
 	out := a.completed
-	a.completed = nil
+	// Ping-pong the two batch lists: the caller finishes with the returned
+	// slice before calling GetEvents again, so its array can back the next
+	// completion list instead of a fresh allocation.
+	a.completed = a.spare[:0]
+	a.spare = out
 	a.inflight -= len(out)
 	a.mu.Unlock(c)
 	if a.ChargeSyscalls {

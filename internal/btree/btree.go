@@ -9,7 +9,6 @@ package btree
 
 import (
 	"bytes"
-	"sort"
 )
 
 // maxKeys is the fan-out of a node; chosen so nodes are a few cache lines,
@@ -33,9 +32,21 @@ type Tree struct {
 	depth int
 }
 
+// newNode returns a node with slices preallocated to the fan-out, so inserts
+// and splits never regrow them.
+func newNode(leaf bool) *node {
+	n := &node{leaf: leaf, keys: make([][]byte, 0, maxKeys)}
+	if leaf {
+		n.vals = make([]uint64, 0, maxKeys)
+	} else {
+		n.children = make([]*node, 0, maxKeys+1)
+	}
+	return n
+}
+
 // New returns an empty tree.
 func New() *Tree {
-	return &Tree{root: &node{leaf: true}, depth: 1}
+	return &Tree{root: newNode(true), depth: 1}
 }
 
 // Len returns the number of keys.
@@ -62,17 +73,35 @@ func (t *Tree) MemBytes() int64 {
 	return keyBytes + int64(t.size)*19
 }
 
+// find returns the first index whose key is >= key. Manual binary search:
+// sort.Search costs a closure allocation-prone indirect call per probe, and
+// these two searches dominate every index lookup.
 func (n *node) find(key []byte) int {
-	return sort.Search(len(n.keys), func(i int) bool {
-		return bytes.Compare(n.keys[i], key) >= 0
-	})
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bytes.Compare(n.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
-// childIndex returns which child to descend into for key.
+// childIndex returns which child to descend into for key: the first index
+// whose key is > key.
 func (n *node) childIndex(key []byte) int {
-	return sort.Search(len(n.keys), func(i int) bool {
-		return bytes.Compare(key, n.keys[i]) < 0
-	})
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bytes.Compare(key, n.keys[mid]) < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // Get returns the value for key and whether it is present.
@@ -95,15 +124,19 @@ func (n *node) full() bool { return len(n.keys) >= maxKeys }
 func (n *node) splitChild(i int) {
 	child := n.children[i]
 	mid := len(child.keys) / 2
-	right := &node{leaf: child.leaf}
+	right := newNode(child.leaf)
 	var sep []byte
 	if child.leaf {
-		// B+ leaf split: right gets keys[mid:], separator is right's first
-		// key (it stays in the leaf).
+		// B+ leaf split: right gets a copy of keys[mid:], separator is
+		// right's first key (it stays in the leaf). child keeps its arrays
+		// at full capacity; the copied-out tail is cleared for the GC.
 		right.keys = append(right.keys, child.keys[mid:]...)
 		right.vals = append(right.vals, child.vals[mid:]...)
-		child.keys = child.keys[:mid:mid]
-		child.vals = child.vals[:mid:mid]
+		for j := mid; j < len(child.keys); j++ {
+			child.keys[j] = nil
+		}
+		child.keys = child.keys[:mid]
+		child.vals = child.vals[:mid]
 		right.next = child.next
 		child.next = right
 		sep = right.keys[0]
@@ -112,8 +145,14 @@ func (n *node) splitChild(i int) {
 		sep = child.keys[mid]
 		right.keys = append(right.keys, child.keys[mid+1:]...)
 		right.children = append(right.children, child.children[mid+1:]...)
-		child.keys = child.keys[:mid:mid]
-		child.children = child.children[: mid+1 : mid+1]
+		for j := mid; j < len(child.keys); j++ {
+			child.keys[j] = nil
+		}
+		for j := mid + 1; j < len(child.children); j++ {
+			child.children[j] = nil
+		}
+		child.keys = child.keys[:mid]
+		child.children = child.children[:mid+1]
 	}
 	n.keys = append(n.keys, nil)
 	copy(n.keys[i+1:], n.keys[i:])
@@ -128,7 +167,8 @@ func (n *node) splitChild(i int) {
 func (t *Tree) Put(key []byte, v uint64) bool {
 	if t.root.full() {
 		old := t.root
-		t.root = &node{children: []*node{old}}
+		t.root = newNode(false)
+		t.root.children = append(t.root.children, old)
 		t.root.splitChild(0)
 		t.depth++
 	}

@@ -97,7 +97,9 @@ func (w *worker) recoverSlab(c env.Ctx, sl *slab.Slab) error {
 		for i := uint64(0); i < slotsPerExtent; i++ {
 			slotIdx := firstSlot + i
 			off := int64(i) * slotBytes
-			d, err := sl.DecodeSlot(buf[off : off+slotBytes])
+			// View decode: the key is only used synchronously (index Put and
+			// the liveTS map both copy), so no per-slot alloc while scanning.
+			d, err := sl.DecodeSlotView(buf[off : off+slotBytes])
 			if err != nil {
 				return err
 			}

@@ -31,8 +31,27 @@ type locReq struct {
 
 // pendingRead deduplicates concurrent reads of the same page: operations
 // arriving while a read is in flight join it instead of re-reading.
+// pendingRead records are pooled by the worker; cont is wired once so a
+// pooled record's completion does not allocate a closure per read.
 type pendingRead struct {
+	w       *worker
+	page    int64
 	joiners []func(c env.Ctx, data []byte, out *[]*aio.IO)
+	cont    ioCont
+}
+
+// complete runs when the page read finishes: it publishes the page to the
+// cache, fans the data out to all joiners, and recycles the record.
+func (pr *pendingRead) complete(c env.Ctx, io *aio.IO, out *[]*aio.IO) {
+	w := pr.w
+	delete(w.pendingReads, pr.page)
+	w.cacheInsert(c, pr.page, io.Buf)
+	for i, j := range pr.joiners {
+		pr.joiners[i] = nil
+		j(c, io.Buf, out)
+	}
+	pr.joiners = pr.joiners[:0]
+	w.prFree = append(w.prFree, pr)
 }
 
 // worker owns one shard of the key space: index, page cache, slabs, free
@@ -60,6 +79,16 @@ type worker struct {
 	tailPage     map[int]int64     // class -> pinned append-tail page
 	liveTS       map[string]uint64 // recovery only: newest ts seen per key
 
+	// Steady-state free lists (§4's CPU discipline applied to the host):
+	// page buffers, pending-read records and IO structs are recycled so the
+	// per-operation path allocates nothing once warm. Evicted page buffers
+	// park in bufPending until the batch's io_submit has consumed any write
+	// that still references them, then move to bufFree.
+	bufFree    [][]byte
+	bufPending [][]byte
+	prFree     []*pendingRead
+	ioFree     []*aio.IO
+
 	// commit-log ablation state
 	logBase, logPages int64
 	logCursor         int64
@@ -68,6 +97,73 @@ type worker struct {
 }
 
 func (w *worker) initAIO() { w.aio = aio.New(w.st.env, w.dev) }
+
+// pageBuf returns a page-sized buffer destined for a disk read, which
+// overwrites every byte — recycled buffers need no clearing.
+func (w *worker) pageBuf() []byte {
+	if n := len(w.bufFree); n > 0 {
+		b := w.bufFree[n-1]
+		w.bufFree = w.bufFree[:n-1]
+		return b
+	}
+	return make([]byte, device.PageSize)
+}
+
+// zeroPageBuf returns a zeroed page-sized buffer (for freshly appended page
+// images, whose unused slots must decode as Empty).
+func (w *worker) zeroPageBuf() []byte {
+	if n := len(w.bufFree); n > 0 {
+		b := w.bufFree[n-1]
+		w.bufFree = w.bufFree[:n-1]
+		clear(b)
+		return b
+	}
+	return make([]byte, device.PageSize)
+}
+
+// recycleBufs moves buffers whose last referencing write has been submitted
+// onto the free list. Call only right after aio.Submit.
+func (w *worker) recycleBufs() {
+	w.bufFree = append(w.bufFree, w.bufPending...)
+	clear(w.bufPending)
+	w.bufPending = w.bufPending[:0]
+}
+
+// retireBuf parks a page buffer the cache no longer references; it becomes
+// reusable at the next recycleBufs.
+func (w *worker) retireBuf(b []byte) {
+	if len(b) == device.PageSize {
+		w.bufPending = append(w.bufPending, b)
+	}
+}
+
+func (w *worker) getPR(page int64) *pendingRead {
+	var pr *pendingRead
+	if n := len(w.prFree); n > 0 {
+		pr = w.prFree[n-1]
+		w.prFree = w.prFree[:n-1]
+	} else {
+		pr = &pendingRead{w: w}
+		pr.cont = pr.complete
+	}
+	pr.page = page
+	return pr
+}
+
+func (w *worker) getIO() *aio.IO {
+	if n := len(w.ioFree); n > 0 {
+		io := w.ioFree[n-1]
+		w.ioFree = w.ioFree[:n-1]
+		return io
+	}
+	return &aio.IO{}
+}
+
+func (w *worker) putIO(io *aio.IO) {
+	io.Buf = nil
+	io.Tag = nil
+	w.ioFree = append(w.ioFree, io)
+}
 
 func (w *worker) nextTS() uint64 {
 	t := w.ts
@@ -104,6 +200,9 @@ func (w *worker) run(c env.Ctx) {
 			}
 		}
 		w.aio.Submit(c, out)
+		// Writes referencing evicted page buffers have been consumed by the
+		// device (data is captured at submission), so the buffers are free.
+		state.recycleBufs()
 		w.unlockShared(c)
 		if w.aio.Inflight() > 0 {
 			evs := w.aio.GetEvents(c, 1)
@@ -111,8 +210,10 @@ func (w *worker) run(c env.Ctx) {
 			w.lockShared(c)
 			for _, io := range evs {
 				io.Tag.(ioCont)(c, io, &out)
+				state.putIO(io)
 			}
 			w.aio.Submit(c, out)
+			state.recycleBufs()
 			w.unlockShared(c)
 		}
 	}
@@ -164,9 +265,7 @@ func (w *worker) start(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
 			w.respond(c, r, kv.Result{})
 			return
 		}
-		w.doGet(c, l, func(c env.Ctx, val []byte, out *[]*aio.IO) {
-			w.respond(c, r, kv.Result{Found: val != nil, Value: val})
-		}, out)
+		w.doGetReq(c, r, l, out)
 	case kv.OpUpdate:
 		w.doUpdate(c, r.Key, r.Value, func(c env.Ctx, out *[]*aio.IO) {
 			w.respond(c, r, kv.Result{Found: true})
@@ -184,13 +283,15 @@ func (w *worker) start(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
 			w.doUpdate(c, r.Key, r.Value, func(c env.Ctx, out *[]*aio.IO) {
 				w.respond(c, r, kv.Result{Found: true})
 			}, out)
-		}, out)
+		}, &r.ValueBuf, out)
 	default:
 		w.respond(c, r, kv.Result{})
 	}
 }
 
 func (w *worker) startLoc(c env.Ctx, lr *locReq, out *[]*aio.IO) {
+	// Scan values are retained past delivery (they land in the join's item
+	// slice), so no scratch buffer: each read allocates its value.
 	w.doGetKey(c, lr.key, lr.l, func(c env.Ctx, val []byte, out *[]*aio.IO) {
 		j := lr.join
 		j.mu.Lock(c)
@@ -201,7 +302,7 @@ func (w *worker) startLoc(c env.Ctx, lr *locReq, out *[]*aio.IO) {
 		if done {
 			j.cond.Broadcast(c)
 		}
-	}, out)
+	}, nil, out)
 }
 
 func (w *worker) respond(c env.Ctx, r *kv.Request, res kv.Result) {
@@ -218,41 +319,49 @@ func (w *worker) readPage(c env.Ctx, page int64, fn func(c env.Ctx, data []byte,
 		pr.joiners = append(pr.joiners, fn)
 		return
 	}
-	pr := &pendingRead{joiners: []func(env.Ctx, []byte, *[]*aio.IO){fn}}
+	pr := w.getPR(page)
+	pr.joiners = append(pr.joiners, fn)
 	w.pendingReads[page] = pr
-	buf := make([]byte, device.PageSize)
-	*out = append(*out, &aio.IO{
-		Op:   device.Read,
-		Page: page,
-		Buf:  buf,
-		Tag: ioCont(func(c env.Ctx, io *aio.IO, out *[]*aio.IO) {
-			delete(w.pendingReads, page)
-			w.cacheInsert(c, page, io.Buf)
-			for _, j := range pr.joiners {
-				j(c, io.Buf, out)
-			}
-		}),
-	})
+	io := w.getIO()
+	io.Op = device.Read
+	io.Page = page
+	io.Buf = w.pageBuf()
+	io.Tag = pr.cont
+	*out = append(*out, io)
 }
 
 func (w *worker) cacheInsert(c env.Ctx, page int64, data []byte) {
-	w.cache.Insert(page, data)
+	if _, ev := w.cache.InsertTake(page, data); ev != nil {
+		w.retireBuf(ev)
+	}
 	c.CPU(w.cache.InsertCost())
+}
+
+// cacheRemove drops page from the cache, reclaiming its buffer.
+func (w *worker) cacheRemove(page int64) {
+	if data := w.cache.RemoveTake(page); data != nil {
+		w.retireBuf(data)
+	}
 }
 
 // writePage submits a page write; done (optional) runs when durable.
 func (w *worker) writePage(page int64, data []byte, done func(c env.Ctx, out *[]*aio.IO), out *[]*aio.IO) {
-	*out = append(*out, &aio.IO{
-		Op:   device.Write,
-		Page: page,
-		Buf:  data,
-		Tag: ioCont(func(c env.Ctx, io *aio.IO, out *[]*aio.IO) {
-			if done != nil {
-				done(c, out)
-			}
-		}),
-	})
+	io := w.getIO()
+	io.Op = device.Write
+	io.Page = page
+	io.Buf = data
+	if done == nil {
+		io.Tag = ioContNop
+	} else {
+		io.Tag = ioCont(func(c env.Ctx, io *aio.IO, out *[]*aio.IO) {
+			done(c, out)
+		})
+	}
+	*out = append(*out, io)
 }
+
+// ioContNop is the shared no-op completion for fire-and-forget writes.
+var ioContNop = ioCont(func(env.Ctx, *aio.IO, *[]*aio.IO) {})
 
 // applyToPage obtains the page (cache hit or read), applies fn in place,
 // writes it back, and calls done once the write is durable. This is the
@@ -272,57 +381,97 @@ func (w *worker) applyToPage(c env.Ctx, page int64, apply func(c env.Ctx, data [
 }
 
 // doGet fetches the value at location l and passes it to fn (nil if the
-// slot no longer holds a live item).
-func (w *worker) doGet(c env.Ctx, l location, fn func(c env.Ctx, val []byte, out *[]*aio.IO), out *[]*aio.IO) {
-	w.doGetKey(c, nil, l, fn, out)
+// slot no longer holds a live item). vdst, when non-nil, is caller-owned
+// scratch that backs the delivered value; fn must then not retain the value.
+func (w *worker) doGet(c env.Ctx, l location, fn func(c env.Ctx, val []byte, out *[]*aio.IO), vdst *[]byte, out *[]*aio.IO) {
+	w.doGetKey(c, nil, l, fn, vdst, out)
+}
+
+// doGetReq is the Get fast path: it answers r directly so a page-cache hit
+// completes without materializing any continuation closure.
+func (w *worker) doGetReq(c env.Ctx, r *kv.Request, l location, out *[]*aio.IO) {
+	sl := w.slabs[l.class()]
+	if !sl.MultiPage() {
+		slot := l.slot()
+		page, off := sl.SlotPage(slot), sl.SlotOffset(slot)
+		c.CPU(w.cache.LookupCost())
+		if data := w.cache.Get(page); data != nil {
+			val := w.slotValue(c, sl, off, nil, data, &r.ValueBuf)
+			w.respond(c, r, kv.Result{Found: val != nil, Value: val})
+			return
+		}
+		w.readPage(c, page, func(c env.Ctx, data []byte, out *[]*aio.IO) {
+			val := w.slotValue(c, sl, off, nil, data, &r.ValueBuf)
+			w.respond(c, r, kv.Result{Found: val != nil, Value: val})
+		}, out)
+		return
+	}
+	w.doGetKey(c, nil, l, func(c env.Ctx, val []byte, out *[]*aio.IO) {
+		w.respond(c, r, kv.Result{Found: val != nil, Value: val})
+	}, &r.ValueBuf, out)
+}
+
+// slotValue decodes the slot at data[off:] and copies its live value into
+// vdst's storage (growing it as needed) or a fresh buffer when vdst is nil.
+// It returns nil — and callers use nil to mean "not found" — when the slot
+// is not live or its key differs from expect (freed and reused since the
+// caller's lookup); a present-but-empty value therefore stays non-nil.
+func (w *worker) slotValue(c env.Ctx, sl *slab.Slab, off int, expect, data []byte, vdst *[]byte) []byte {
+	d, err := sl.DecodeSlotView(data[off : off+sl.Stride])
+	if err != nil || d.Kind != slab.Live || (expect != nil && !bytes.Equal(d.Item.Key, expect)) {
+		return nil
+	}
+	n := len(d.Item.Value)
+	c.CPU(costs.MemBytes(n))
+	var val []byte
+	if vdst != nil && *vdst != nil && cap(*vdst) >= n {
+		val = (*vdst)[:n]
+	} else {
+		val = make([]byte, n)
+		if vdst != nil {
+			*vdst = val
+		}
+	}
+	copy(val, d.Item.Value)
+	return val
 }
 
 // doGetKey is doGet with an optional expected key: when non-nil, a slot
 // whose live item carries a different key (freed and reused since the
 // caller looked it up) reads as absent.
-func (w *worker) doGetKey(c env.Ctx, expect []byte, l location, fn func(c env.Ctx, val []byte, out *[]*aio.IO), out *[]*aio.IO) {
+func (w *worker) doGetKey(c env.Ctx, expect []byte, l location, fn func(c env.Ctx, val []byte, out *[]*aio.IO), vdst *[]byte, out *[]*aio.IO) {
 	sl := w.slabs[l.class()]
 	slot := l.slot()
 	if sl.MultiPage() {
 		// Multi-page items bypass the page cache (they would monopolize
-		// it) and are read in one large request.
+		// it) and are read in one large request. The buffer is not pooled,
+		// so the delivered value may alias it.
 		buf := make([]byte, sl.PagesPerSlot()*device.PageSize)
-		*out = append(*out, &aio.IO{
-			Op:   device.Read,
-			Page: sl.SlotPage(slot),
-			Buf:  buf,
-			Tag: ioCont(func(c env.Ctx, io *aio.IO, out *[]*aio.IO) {
-				d, err := sl.DecodeSlot(io.Buf)
-				if err != nil || d.Kind != slab.Live || (expect != nil && !bytes.Equal(d.Item.Key, expect)) {
-					fn(c, nil, out)
-					return
-				}
-				c.CPU(costs.MemBytes(len(d.Item.Value)))
-				fn(c, d.Item.Value, out)
-			}),
+		io := w.getIO()
+		io.Op = device.Read
+		io.Page = sl.SlotPage(slot)
+		io.Buf = buf
+		io.Tag = ioCont(func(c env.Ctx, io *aio.IO, out *[]*aio.IO) {
+			d, err := sl.DecodeSlotView(io.Buf)
+			if err != nil || d.Kind != slab.Live || (expect != nil && !bytes.Equal(d.Item.Key, expect)) {
+				fn(c, nil, out)
+				return
+			}
+			c.CPU(costs.MemBytes(len(d.Item.Value)))
+			fn(c, d.Item.Value, out)
 		})
+		*out = append(*out, io)
 		return
 	}
 	page, off := sl.SlotPage(slot), sl.SlotOffset(slot)
-	deliver := func(c env.Ctx, data []byte, out *[]*aio.IO) {
-		d, err := sl.DecodeSlot(data[off : off+sl.Stride])
-		if err != nil || d.Kind != slab.Live || (expect != nil && !bytes.Equal(d.Item.Key, expect)) {
-			fn(c, nil, out)
-			return
-		}
-		c.CPU(costs.MemBytes(len(d.Item.Value)))
-		// make (not append) so that a present-but-empty value stays
-		// non-nil: callers use nil to mean "not found".
-		val := make([]byte, len(d.Item.Value))
-		copy(val, d.Item.Value)
-		fn(c, val, out)
-	}
 	c.CPU(w.cache.LookupCost())
 	if data := w.cache.Get(page); data != nil {
-		deliver(c, data, out)
+		fn(c, w.slotValue(c, sl, off, expect, data, vdst), out)
 		return
 	}
-	w.readPage(c, page, deliver, out)
+	w.readPage(c, page, func(c env.Ctx, data []byte, out *[]*aio.IO) {
+		fn(c, w.slotValue(c, sl, off, expect, data, vdst), out)
+	}, out)
 }
 
 // doUpdate writes (key, value) and calls done once it is durable at its
@@ -381,17 +530,14 @@ func (w *worker) doUpdate(c env.Ctx, key, value []byte, done func(c env.Ctx, out
 			panic(err)
 		}
 		writeSlot := func(c env.Ctx, out *[]*aio.IO) {
-			*out = append(*out, &aio.IO{
-				Op: device.Write, Page: newSl.SlotPage(slot), Buf: buf,
-				Tag: ioCont(func(c env.Ctx, io *aio.IO, out *[]*aio.IO) { finish(c, out) }),
-			})
+			w.writePage(newSl.SlotPage(slot), buf, finish, out)
 		}
 		if reused {
 			// Recover the free-list chain from the old tombstone before
 			// overwriting it.
 			w.readPage(c, newSl.SlotPage(slot), func(c env.Ctx, data []byte, out *[]*aio.IO) {
 				w.recoverChain(newSl, data[:slab.HeaderSize+8])
-				w.cache.Remove(newSl.SlotPage(slot)) // page belongs to a multi-page slot
+				w.cacheRemove(newSl.SlotPage(slot)) // page belongs to a multi-page slot
 				writeSlot(c, out)
 			}, out)
 			return
@@ -411,7 +557,7 @@ func (w *worker) doUpdate(c env.Ctx, key, value []byte, done func(c env.Ctx, out
 		}
 	}
 	if !reused && newSl.AppendPageFresh(slot) {
-		data := make([]byte, device.PageSize)
+		data := w.zeroPageBuf()
 		apply(c, data)
 		w.cacheInsert(c, page, data)
 		// Pin the new tail page so subsequent appends hit the cache;
@@ -462,11 +608,13 @@ func (w *worker) writeTombstone(c env.Ctx, l location, ts uint64, out *[]*aio.IO
 	sl.Live--
 	if sl.MultiPage() {
 		// The slot owns whole pages; writing the first page alone is
-		// enough (decode stops at the tombstone flag).
-		data := make([]byte, device.PageSize)
+		// enough (decode stops at the tombstone flag). The page image is
+		// one-shot: once the batch submits it can be recycled.
+		data := w.zeroPageBuf()
 		sl.EncodeTombstone(data, ts, chainTo)
-		w.cache.Remove(sl.SlotPage(slot))
+		w.cacheRemove(sl.SlotPage(slot))
 		w.writePage(sl.SlotPage(slot), data, nil, out)
+		w.retireBuf(data)
 		return
 	}
 	page, off := sl.SlotPage(slot), sl.SlotOffset(slot)
@@ -492,10 +640,11 @@ func (w *worker) doDelete(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
 	ts := w.nextTS()
 	done := func(c env.Ctx, out *[]*aio.IO) { w.respond(c, r, kv.Result{Found: true}) }
 	if sl.MultiPage() {
-		data := make([]byte, device.PageSize)
+		data := w.zeroPageBuf()
 		sl.EncodeTombstone(data, ts, chainTo)
-		w.cache.Remove(sl.SlotPage(slot))
+		w.cacheRemove(sl.SlotPage(slot))
 		w.writePage(sl.SlotPage(slot), data, done, out)
+		w.retireBuf(data)
 		return
 	}
 	page, off := sl.SlotPage(slot), sl.SlotOffset(slot)
@@ -517,7 +666,9 @@ func (w *worker) withCommitLog(c env.Ctx, recBytes int, done func(c env.Ctx, out
 	}
 	page := w.logBase + w.logCursor%w.logPages
 	w.logCursor++
-	buf := make([]byte, device.PageSize)
+	// One-shot log page image, recyclable once the batch submits.
+	buf := w.zeroPageBuf()
 	w.writePage(page, buf, wrapped, out)
+	w.retireBuf(buf)
 	return wrapped
 }

@@ -88,6 +88,10 @@ type SimDisk struct {
 
 	nextSpike env.Time
 
+	// complFree recycles completion records so Submit does not allocate a
+	// fresh closure per request; each record's fn is wired once.
+	complFree []*simCompl
+
 	// Optional instrumentation.
 	LatHist    *stats.Hist     // per-request latency
 	BWTimeline *stats.Timeline // bytes completed per bucket
@@ -224,30 +228,68 @@ func (d *SimDisk) Submit(r *Request) {
 	}
 
 	done := d.station.Assign(now, svc)
-	buf := r.Buf
-	page := r.Page
-	op := r.Op
-	d.s.At(done, func() {
-		if op == Read {
-			if err := d.store.ReadPages(page, buf); err != nil {
-				panic("device: sim read failed: " + err.Error())
-			}
+	cp := d.getCompl()
+	// The request's fields are copied into the record at submission: the
+	// caller may recycle the Request struct once Done has run, and write
+	// data already reached the store above.
+	cp.buf = r.Buf
+	cp.page = r.Page
+	cp.op = r.Op
+	cp.n = n
+	cp.submitted = r.Submitted
+	cp.reqDone = r.Done
+	d.s.At(done, cp.fn)
+}
+
+// simCompl is a pooled completion record; fn is created once per record and
+// captures only the record itself.
+type simCompl struct {
+	d         *SimDisk
+	buf       []byte
+	page      int64
+	op        Op
+	n         int64
+	submitted env.Time
+	reqDone   func()
+	fn        func()
+}
+
+func (d *SimDisk) getCompl() *simCompl {
+	if n := len(d.complFree); n > 0 {
+		cp := d.complFree[n-1]
+		d.complFree = d.complFree[:n-1]
+		return cp
+	}
+	cp := &simCompl{d: d}
+	cp.fn = cp.run
+	return cp
+}
+
+func (cp *simCompl) run() {
+	d := cp.d
+	if cp.op == Read {
+		if err := d.store.ReadPages(cp.page, cp.buf); err != nil {
+			panic("device: sim read failed: " + err.Error())
 		}
-		d.inflight--
-		t := d.s.Now()
-		if d.LatHist != nil {
-			d.LatHist.Add(t - r.Submitted)
-		}
-		if d.BWTimeline != nil {
-			d.BWTimeline.Add(t, float64(n*PageSize))
-		}
-		if d.IOTimeline != nil {
-			d.IOTimeline.Add(t, 1)
-		}
-		if r.Done != nil {
-			r.Done()
-		}
-	})
+	}
+	d.inflight--
+	t := d.s.Now()
+	if d.LatHist != nil {
+		d.LatHist.Add(t - cp.submitted)
+	}
+	if d.BWTimeline != nil {
+		d.BWTimeline.Add(t, float64(cp.n*PageSize))
+	}
+	if d.IOTimeline != nil {
+		d.IOTimeline.Add(t, 1)
+	}
+	reqDone := cp.reqDone
+	cp.buf = nil
+	cp.reqDone = nil
+	d.complFree = append(d.complFree, cp)
+	if reqDone != nil {
+		reqDone()
+	}
 }
 
 // RealDisk executes I/O against a Store using a pool of goroutines; it is

@@ -34,6 +34,10 @@ type MemStore struct {
 	//kvell:lint-ignore nogoroutine MemStore also backs RealDisk's concurrent executors; under the sim it is only touched from the single scheduler thread
 	mu    sync.RWMutex
 	pages map[int64]*[PageSize]byte
+	// free recycles page arrays released by Free: engines constantly free
+	// old pages and write fresh page numbers, and every write is a full
+	// page copy, so reuse is invisible to readers.
+	free []*[PageSize]byte
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -72,7 +76,12 @@ func (m *MemStore) WritePages(page int64, buf []byte) error {
 	for i := 0; i < n; i++ {
 		p, ok := m.pages[page+int64(i)]
 		if !ok {
-			p = new([PageSize]byte)
+			if f := len(m.free); f > 0 {
+				p = m.free[f-1]
+				m.free = m.free[:f-1]
+			} else {
+				p = new([PageSize]byte)
+			}
 			m.pages[page+int64(i)] = p
 		}
 		copy(p[:], buf[i*PageSize:(i+1)*PageSize])
@@ -99,7 +108,10 @@ func (m *MemStore) Free(page int64, count int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for i := int64(0); i < count; i++ {
-		delete(m.pages, page+i)
+		if p, ok := m.pages[page+i]; ok {
+			m.free = append(m.free, p)
+			delete(m.pages, page+i)
+		}
 	}
 }
 

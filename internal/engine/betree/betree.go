@@ -137,6 +137,13 @@ type DB struct {
 	logBuf  int64
 	logPage int64
 
+	leafBufs [][]byte // recycled leaf read buffers (guarded by treeMu)
+
+	// Recycled synchronous-I/O waiters (host-only state: procs are
+	// cooperatively scheduled and pop/push contain no yield points, so the
+	// unlocked accesses cannot interleave).
+	waiterFree []*waiter
+
 	alloc *device.Allocator
 	disk  device.Disk
 
@@ -260,15 +267,30 @@ func (d *DB) loadLeafLocked(c env.Ctx, l *leaf) {
 		return
 	}
 	d.stats.CacheMisses++
-	buf := make([]byte, l.pages*device.PageSize)
-	d.readSync(c, l.page, buf)
+	buf := d.popLeafBuf(int(l.pages) * device.PageSize)
+	d.readSync(c, l.page, buf) // the read overwrites the whole buffer
 	ents, total := deserializeLeaf(buf)
+	d.leafBufs = append(d.leafBufs, buf) // deserializeLeaf copied out
 	c.CPU(costs.MemBytes(total))
 	l.ents = ents
 	l.bytes = total
 	d.cachedB += int64(total)
 	d.touch(l)
 	d.evictCleanOverBudget(l)
+}
+
+// popLeafBuf takes a recycled read buffer of at least need bytes from the
+// pool (treeMu held); too-small buffers are dropped, so the pool converges
+// on the largest leaf size.
+func (d *DB) popLeafBuf(need int) []byte {
+	if n := len(d.leafBufs); n > 0 {
+		b := d.leafBufs[n-1]
+		d.leafBufs = d.leafBufs[:n-1]
+		if cap(b) >= need {
+			return b[:need]
+		}
+	}
+	return make([]byte, need)
 }
 
 func (d *DB) evictCleanOverBudget(keep *leaf) {
@@ -295,28 +317,49 @@ func (d *DB) evictCleanOverBudget(keep *leaf) {
 func (d *DB) readSync(c env.Ctx, page int64, buf []byte) {
 	// Buffered pread path (§6.3.1): syscall plus per-byte copy/checksum.
 	c.CPU(costs.Syscall + costs.PreadBytes(len(buf)))
-	w := newWaiter(d.env)
-	d.disk.Submit(&device.Request{Op: device.Read, Page: page, Buf: buf, Done: w.done})
+	w := d.getWaiter()
+	w.req = device.Request{Op: device.Read, Page: page, Buf: buf, Done: w.doneFn}
+	d.disk.Submit(&w.req)
 	w.wait(c)
+	d.putWaiter(w)
 }
 
 func (d *DB) writeSync(c env.Ctx, page int64, buf []byte) {
 	c.CPU(costs.Syscall + costs.PwriteBytes(len(buf)))
-	w := newWaiter(d.env)
-	d.disk.Submit(&device.Request{Op: device.Write, Page: page, Buf: buf, Done: w.done})
+	w := d.getWaiter()
+	w.req = device.Request{Op: device.Write, Page: page, Buf: buf, Done: w.doneFn}
+	d.disk.Submit(&w.req)
 	w.wait(c)
+	d.putWaiter(w)
 }
 
 type waiter struct {
-	mu   env.Mutex
-	cond env.Cond
-	ok   bool
+	mu     env.Mutex
+	cond   env.Cond
+	ok     bool
+	req    device.Request
+	doneFn func()
 }
 
-func newWaiter(e env.Env) *waiter {
-	w := &waiter{mu: e.NewMutex()}
-	w.cond = e.NewCond(w.mu)
+// getWaiter pops a recycled waiter — mutex, cond, bound done callback and
+// request record included — or builds one. The device copies the request's
+// fields at submission, so the record is free for reuse once wait returns.
+func (d *DB) getWaiter() *waiter {
+	if n := len(d.waiterFree); n > 0 {
+		w := d.waiterFree[n-1]
+		d.waiterFree = d.waiterFree[:n-1]
+		w.ok = false
+		return w
+	}
+	w := &waiter{mu: d.env.NewMutex()}
+	w.cond = d.env.NewCond(w.mu)
+	w.doneFn = w.done
 	return w
+}
+
+func (d *DB) putWaiter(w *waiter) {
+	w.req.Buf = nil
+	d.waiterFree = append(d.waiterFree, w)
 }
 
 func (w *waiter) done() {
@@ -336,12 +379,28 @@ func (w *waiter) wait(c env.Ctx) {
 
 // ---- leaf codec (same layout as wtree's) ----
 
-func serializeLeaf(l *leaf) []byte {
+// leafImagePages is the page count of l's serialized form.
+func leafImagePages(l *leaf) int {
 	pages := (l.bytes + 4 + device.PageSize - 1) / device.PageSize
 	if pages < 1 {
 		pages = 1
 	}
-	buf := make([]byte, pages*device.PageSize)
+	return pages
+}
+
+func serializeLeaf(l *leaf) []byte { return serializeLeafInto(l, nil) }
+
+// serializeLeafInto reconciles l into a page-aligned image, reusing dst
+// when it has the capacity (callers pass a per-thread scratch buffer or an
+// arena allocation). The image is dead once its write completes.
+func serializeLeafInto(l *leaf, dst []byte) []byte {
+	need := leafImagePages(l) * device.PageSize
+	var buf []byte
+	if cap(dst) >= need {
+		buf = dst[:need]
+	} else {
+		buf = make([]byte, need)
+	}
 	putU32(buf, uint32(len(l.ents)))
 	off := 4
 	for _, e := range l.ents {
@@ -351,6 +410,7 @@ func serializeLeaf(l *leaf) []byte {
 		copy(buf[off+6+len(e.key):], e.value)
 		off += entryBytes(len(e.key), len(e.value))
 	}
+	clear(buf[off:]) // reused scratch: keep the on-disk tail deterministic
 	return buf
 }
 
@@ -358,11 +418,27 @@ func deserializeLeaf(buf []byte) ([]entry, int) {
 	n := int(getU32(buf))
 	ents := make([]entry, 0, n)
 	off, total := 4, 0
+	// Size pass: one backing blob for every key and value turns 2n copies
+	// into 2 allocations per leaf (mutation replaces whole slices, so the
+	// shared backing is never written through).
+	blobLen := 0
+	o := off
+	for i := 0; i < n; i++ {
+		klen := int(getU16(buf[o:]))
+		vlen := int(getU32(buf[o+2:]))
+		blobLen += klen + vlen
+		o += entryBytes(klen, vlen)
+	}
+	blob := make([]byte, blobLen)
+	bo := 0
 	for i := 0; i < n; i++ {
 		klen := int(getU16(buf[off:]))
 		vlen := int(getU32(buf[off+2:]))
-		k := append([]byte(nil), buf[off+6:off+6+klen]...)
-		v := append([]byte(nil), buf[off+6+klen:off+6+klen+vlen]...)
+		k := blob[bo : bo+klen : bo+klen]
+		copy(k, buf[off+6:])
+		v := blob[bo+klen : bo+klen+vlen : bo+klen+vlen]
+		copy(v, buf[off+6+klen:off+6+klen+vlen])
+		bo += klen + vlen
 		ents = append(ents, entry{key: k, value: v})
 		off += entryBytes(klen, vlen)
 		total += entryBytes(klen, vlen)

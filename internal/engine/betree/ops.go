@@ -8,13 +8,14 @@ import (
 	"kvell/internal/device"
 	"kvell/internal/env"
 	"kvell/internal/kv"
+	"kvell/internal/slab"
 )
 
 // Submit implements kv.Engine (library model).
 func (d *DB) Submit(c env.Ctx, r *kv.Request) {
 	switch r.Op {
 	case kv.OpGet:
-		v, ok := d.Get(c, r.Key)
+		v, ok := d.getInto(c, r.Key, &r.ValueBuf)
 		r.Done(kv.Result{Found: ok, Value: v})
 	case kv.OpUpdate:
 		d.Put(c, r.Key, r.Value)
@@ -23,11 +24,12 @@ func (d *DB) Submit(c env.Ctx, r *kv.Request) {
 		d.Delete(c, r.Key)
 		r.Done(kv.Result{Found: true})
 	case kv.OpRMW:
-		_, _ = d.Get(c, r.Key)
+		_, _ = d.getInto(c, r.Key, &r.ValueBuf)
 		d.Put(c, r.Key, r.Value)
 		r.Done(kv.Result{Found: true})
 	case kv.OpScan:
-		items := d.Scan(c, r.Key, r.ScanCount)
+		items := d.scanInto(c, r.Key, r.ScanCount, r.ScanBuf[:0])
+		r.ScanBuf = items
 		r.Done(kv.Result{Found: len(items) > 0, ScanN: len(items)})
 	}
 }
@@ -106,6 +108,7 @@ func (d *DB) maybeStall(c env.Ctx) {
 // keep up (and producing the §3.2 stalls when it cannot).
 func (d *DB) evictLoop(c env.Ctx) {
 	trigger := int64(float64(d.cfg.CacheBytes) * d.cfg.DirtyStallFrac / 2)
+	var scratch []byte // this thread's reconcile buffer (dead once written)
 	for {
 		d.stallMu.Lock(c)
 		for d.dirtyB <= trigger && !d.closing {
@@ -129,7 +132,8 @@ func (d *DB) evictLoop(c env.Ctx) {
 			continue
 		}
 		c.CPU(costs.PageReconcile)
-		buf := serializeLeaf(victim)
+		scratch = serializeLeafInto(victim, scratch)
+		buf := scratch
 		page := victim.page
 		victim.dirty = false
 		d.dirtyB -= int64(victim.bytes)
@@ -304,18 +308,25 @@ func (d *DB) resizeLeafPages(l *leaf) {
 // Get consults the buffers along the "path" (root, then group), then the
 // leaf; an ancestor message is always newer than anything below it.
 func (d *DB) Get(c env.Ctx, key []byte) ([]byte, bool) {
+	return d.getInto(c, key, nil)
+}
+
+// getInto is Get with optional caller-owned value scratch: when vdst is
+// non-nil the returned value is backed by *vdst (grown as needed) and only
+// valid until the caller reuses the scratch.
+func (d *DB) getInto(c env.Ctx, key []byte, vdst *[]byte) ([]byte, bool) {
 	c.CPU(costs.LockUncontended)
 	d.treeMu.Lock(c)
 	d.stats.Gets++
 	c.CPU(costs.BTreeNode * 3)
 	if m, ok := findMsg(d.rootMsgs, key); ok {
 		d.treeMu.Unlock(c)
-		return msgValue(m)
+		return msgValueInto(m, vdst)
 	}
 	g := d.groups[d.findGroup(key)]
 	if m, ok := findMsg(g.msgs, key); ok {
 		d.treeMu.Unlock(c)
-		return msgValue(m)
+		return msgValueInto(m, vdst)
 	}
 	var l *leaf
 	for {
@@ -329,12 +340,13 @@ func (d *DB) Get(c env.Ctx, key []byte) ([]byte, bool) {
 		// not hold the flush locks), then re-descend.
 		d.stats.CacheMisses++
 		page, pages := l.page, l.pages
+		buf := d.popLeafBuf(int(pages) * device.PageSize)
 		d.treeMu.Unlock(c)
-		buf := make([]byte, pages*device.PageSize)
-		d.readSync(c, page, buf)
+		d.readSync(c, page, buf) // the read overwrites the whole buffer
 		ents, total := deserializeLeaf(buf)
 		c.CPU(costs.MemBytes(total))
 		d.treeMu.Lock(c)
+		d.leafBufs = append(d.leafBufs, buf) // deserializeLeaf copied out
 		if l.ents == nil && l.page == page {
 			l.ents = ents
 			l.bytes = total
@@ -349,7 +361,7 @@ func (d *DB) Get(c env.Ctx, key []byte) ([]byte, bool) {
 	var val []byte
 	found := false
 	if i < len(l.ents) && bytes.Equal(l.ents[i].key, key) {
-		val = append([]byte(nil), l.ents[i].value...)
+		val = copyInto(l.ents[i].value, vdst)
 		found = true
 		c.CPU(costs.MemBytes(len(val)))
 	}
@@ -358,14 +370,42 @@ func (d *DB) Get(c env.Ctx, key []byte) ([]byte, bool) {
 }
 
 func msgValue(m msg) ([]byte, bool) {
+	return msgValueInto(m, nil)
+}
+
+func msgValueInto(m msg, vdst *[]byte) ([]byte, bool) {
 	if m.del {
 		return nil, false
 	}
-	return append([]byte(nil), m.value...), true
+	return copyInto(m.value, vdst), true
+}
+
+// copyInto copies src into the caller's scratch when it has capacity,
+// growing the scratch otherwise.
+func copyInto(src []byte, vdst *[]byte) []byte {
+	n := len(src)
+	var val []byte
+	if vdst != nil && *vdst != nil && cap(*vdst) >= n {
+		val = (*vdst)[:n]
+	} else {
+		val = make([]byte, n)
+		if vdst != nil {
+			*vdst = val
+		}
+	}
+	copy(val, src)
+	return val
 }
 
 // Scan merges buffered messages with leaf entries for the range.
 func (d *DB) Scan(c env.Ctx, start []byte, count int) []kv.Item {
+	return d.scanInto(c, start, count, nil)
+}
+
+// scanInto is Scan with a caller-owned destination: dst's slots (and their
+// Key/Value capacity) are reused via kv.AppendItem, so hot-path callers
+// that only count the results recycle one buffer across scans.
+func (d *DB) scanInto(c env.Ctx, start []byte, count int, dst []kv.Item) []kv.Item {
 	c.CPU(costs.LockUncontended)
 	d.treeMu.Lock(c)
 	d.stats.Scans++
@@ -390,12 +430,9 @@ func (d *DB) Scan(c env.Ctx, start []byte, count int) []kv.Item {
 		addMsgs(d.groups[gi].msgs)
 	}
 
-	var out []kv.Item
+	out := dst
 	emit := func(key, value []byte) {
-		out = append(out, kv.Item{
-			Key:   append([]byte(nil), key...),
-			Value: append([]byte(nil), value...),
-		})
+		out = kv.AppendItem(out, key, value)
 	}
 	// Sorted pending keys for merge.
 	pkeys := make([]string, 0, len(pending))
@@ -516,6 +553,15 @@ func (d *DB) BulkLoad(items []kv.Item) error {
 // checkpointLoop periodically writes dirty leaves and wakes stalled
 // writers.
 func (d *DB) checkpointLoop(c env.Ctx) {
+	// All job images live until the write loop below finishes, so they come
+	// from a per-checkpoint arena rather than a single scratch buffer.
+	arena := slab.NewArena(1 << 20)
+	type job struct {
+		l    *leaf
+		page int64
+		buf  []byte
+	}
+	var jobs []job
 	for {
 		c.Sleep(d.cfg.CheckpointEvery)
 		d.treeMu.Lock(c)
@@ -524,16 +570,12 @@ func (d *DB) checkpointLoop(c env.Ctx) {
 			return
 		}
 		// Collect dirty leaves, then write them without the tree lock.
-		type job struct {
-			l    *leaf
-			page int64
-			buf  []byte
-		}
-		var jobs []job
+		jobs = jobs[:0]
 		for _, l := range d.lru {
 			if l.dirty && l.ents != nil {
 				c.CPU(costs.PageReconcile)
-				jobs = append(jobs, job{l: l, page: l.page, buf: serializeLeaf(l)})
+				img := serializeLeafInto(l, arena.Alloc(leafImagePages(l)*device.PageSize))
+				jobs = append(jobs, job{l: l, page: l.page, buf: img})
 				l.dirty = false
 				d.dirtyB -= int64(l.bytes)
 			}
@@ -543,6 +585,10 @@ func (d *DB) checkpointLoop(c env.Ctx) {
 			d.writeSync(c, j.page, j.buf)
 			d.stats.EvictedLeaves++
 		}
+		for i := range jobs {
+			jobs[i] = job{} // drop leaf/image references
+		}
+		arena.Reset() // every image has been written out
 		d.stallCond.Broadcast(c)
 	}
 }

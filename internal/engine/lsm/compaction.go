@@ -7,11 +7,15 @@ import (
 	"kvell/internal/costs"
 	"kvell/internal/device"
 	"kvell/internal/env"
+	"kvell/internal/slab"
 )
 
 // flushCond and closing flags live on db.go's locks; the flush loop turns
 // the immutable memtable into an L0 table (§3.1: the memory component).
 func (d *DB) flushLoop(c env.Ctx) {
+	// Per-thread scratch arena: page images built here are dead once finish
+	// writes them, so each flush reuses the previous flush's memory.
+	arena := slab.NewArena(1 << 20)
 	for {
 		d.writeMu.Lock(c)
 		for d.imm == nil && !d.closing {
@@ -29,9 +33,11 @@ func (d *DB) flushLoop(c env.Ctx) {
 		d.verMu.Unlock(c)
 
 		b := d.newBuilder(disk)
+		b.arena = arena
 		imm.each(func(e entry) { b.add(&e) })
 		c.CPU(costs.MemBytes(int(imm.bytes)))
 		t := b.finish(c) // timed sequential writes + index build CPU
+		arena.Reset()    // every page image has been written out
 
 		d.verMu.Lock(c)
 		if t != nil {
@@ -148,6 +154,9 @@ func (d *DB) pickCompaction() *compaction {
 }
 
 func (d *DB) compactLoop(c env.Ctx) {
+	// Per-thread scratch arena for merge chunks and output page images;
+	// reset after each job, so steady-state compaction reuses one footprint.
+	arena := slab.NewArena(1 << 20)
 	for {
 		d.verMu.Lock(c)
 		job := d.pickCompaction()
@@ -165,13 +174,14 @@ func (d *DB) compactLoop(c env.Ctx) {
 			return
 		}
 		d.verMu.Unlock(c)
-		d.runCompaction(c, job)
+		d.runCompaction(c, job, arena)
+		arena.Reset()
 	}
 }
 
 // compactionSource streams a table's entries with large sequential reads
 // (bypassing the block cache, as RocksDB compactions do).
-func (d *DB) compactionSource(c env.Ctx, t *sstable) *scanSource {
+func (d *DB) compactionSource(c env.Ctx, t *sstable, arena *slab.Arena) *scanSource {
 	bi := 0
 	var chunk []byte
 	var chunkStart int64 = -1
@@ -189,7 +199,14 @@ func (d *DB) compactionSource(c env.Ctx, t *sstable) *scanSource {
 			if need > n {
 				n = need
 			}
-			chunk = make([]byte, n*device.PageSize)
+			// The merge copies entries out of the chunk before the source
+			// advances past it, so the buffer can be reused in place; the
+			// arena only grows when a chunk is larger than any before it.
+			if int(n*device.PageSize) <= cap(chunk) {
+				chunk = chunk[:n*device.PageSize]
+			} else {
+				chunk = arena.Alloc(int(n * device.PageSize))
+			}
 			d.readPagesSync(c, t.disk, t.basePage+rel, chunk)
 			d.stats.CompactionBytesRead += n * device.PageSize
 			chunkStart = rel
@@ -222,7 +239,7 @@ func (d *DB) compactionSource(c env.Ctx, t *sstable) *scanSource {
 // runCompaction merges the job's tables and installs the result into
 // level+1 (§3.1: the CPU- and I/O-intensive maintenance operation that
 // LSM designs require and KVell eliminates).
-func (d *DB) runCompaction(c env.Ctx, job *compaction) {
+func (d *DB) runCompaction(c env.Ctx, job *compaction, arena *slab.Arena) {
 	toLevel := job.level + 1
 	// Tombstones may be dropped only at the bottommost level, where every
 	// overlapping table participates in the merge.
@@ -230,10 +247,10 @@ func (d *DB) runCompaction(c env.Ctx, job *compaction) {
 
 	var sources []*scanSource
 	for _, t := range job.inputs {
-		sources = append(sources, d.compactionSource(c, t))
+		sources = append(sources, d.compactionSource(c, t, arena))
 	}
 	for _, t := range job.targets {
-		sources = append(sources, d.compactionSource(c, t))
+		sources = append(sources, d.compactionSource(c, t, arena))
 	}
 
 	d.verMu.Lock(c)
@@ -242,6 +259,7 @@ func (d *DB) runCompaction(c env.Ctx, job *compaction) {
 
 	var outputs []*sstable
 	b := d.newBuilder(disk)
+	b.arena = arena
 	emit := func(e *entry) {
 		if e.tombstone && dropTombstones {
 			return
@@ -256,6 +274,7 @@ func (d *DB) runCompaction(c env.Ctx, job *compaction) {
 			disk = d.nextDisk()
 			d.verMu.Unlock(c)
 			b = d.newBuilder(disk)
+			b.arena = arena
 		}
 	}
 
@@ -264,25 +283,24 @@ func (d *DB) runCompaction(c env.Ctx, job *compaction) {
 	haveLast := false
 	for {
 		var best *scanSource
+		var e entry
 		for _, s := range sources {
-			e := s.peek()
-			if e == nil {
+			se, ok := s.peek()
+			if !ok {
 				continue
 			}
 			if best == nil {
-				best = s
+				best, e = s, se
 				continue
 			}
-			be := best.peek()
-			cmp := bytes.Compare(e.key, be.key)
-			if cmp < 0 || (cmp == 0 && e.seq > be.seq) {
-				best = s
+			cmp := bytes.Compare(se.key, e.key)
+			if cmp < 0 || (cmp == 0 && se.seq > e.seq) {
+				best, e = s, se
 			}
 		}
 		if best == nil {
 			break
 		}
-		e := *best.peek()
 		best.advance()
 		if haveLast && bytes.Equal(e.key, lastKey) {
 			continue // superseded version

@@ -88,12 +88,13 @@ type DB struct {
 	walPage   int64
 
 	// Version state.
-	verMu   env.Mutex
-	verCond env.Cond // work signal for background threads
-	levels  [][]*sstable
-	busy    map[int64]bool // table id -> selected for compaction
-	tableID int64
-	closing bool
+	verMu    env.Mutex
+	verCond  env.Cond // work signal for background threads
+	levels   [][]*sstable
+	busy     map[int64]bool // table id -> selected for compaction
+	tableID  int64
+	closing  bool
+	candPool [][]*sstable // recycled candidate slices (guarded by verMu)
 
 	// Block cache (shared; the contended structure §3.1 calls out).
 	cacheMu env.Mutex
@@ -101,6 +102,11 @@ type DB struct {
 
 	allocs   []*device.Allocator
 	diskNext int
+
+	// Recycled synchronous-I/O waiters (host-only state: procs are
+	// cooperatively scheduled and pop/push contain no yield points, so the
+	// unlocked accesses cannot interleave).
+	ioFree []*ioWaiter
 
 	stats Stats
 }
@@ -188,45 +194,65 @@ func (d *DB) nextDisk() device.Disk {
 // ---- synchronous device I/O (read/write syscalls, one per call) ----
 
 type ioWaiter struct {
-	mu   env.Mutex
-	cond env.Cond
-	done bool
+	mu     env.Mutex
+	cond   env.Cond
+	done   bool
+	req    device.Request
+	doneFn func()
+}
+
+func (w *ioWaiter) complete() {
+	w.mu.Lock(nil)
+	w.done = true
+	w.mu.Unlock(nil)
+	w.cond.Broadcast(nil)
+}
+
+// getIOWaiter pops a recycled waiter — mutex, cond, bound completion
+// callback and request record included — or builds one. The device copies
+// the request's fields at submission, so the record is free for reuse once
+// the wait returns.
+func (d *DB) getIOWaiter() *ioWaiter {
+	if n := len(d.ioFree); n > 0 {
+		w := d.ioFree[n-1]
+		d.ioFree = d.ioFree[:n-1]
+		w.done = false
+		return w
+	}
+	w := &ioWaiter{mu: d.env.NewMutex()}
+	w.cond = d.env.NewCond(w.mu)
+	w.doneFn = w.complete
+	return w
 }
 
 func (d *DB) readPagesSync(c env.Ctx, disk device.Disk, page int64, buf []byte) {
 	// pread: the per-block buffered-read path §6.3.1 profiles (syscall +
 	// copy + checksum per byte).
 	c.CPU(costs.Syscall + costs.PreadBytes(len(buf)))
-	w := &ioWaiter{mu: d.env.NewMutex()}
-	w.cond = d.env.NewCond(w.mu)
-	disk.Submit(&device.Request{Op: device.Read, Page: page, Buf: buf, Done: func() {
-		w.mu.Lock(nil)
-		w.done = true
-		w.mu.Unlock(nil)
-		w.cond.Broadcast(nil)
-	}})
+	w := d.getIOWaiter()
+	w.req = device.Request{Op: device.Read, Page: page, Buf: buf, Done: w.doneFn}
+	disk.Submit(&w.req)
 	w.mu.Lock(c)
 	for !w.done {
 		w.cond.Wait(c)
 	}
 	w.mu.Unlock(c)
+	w.req.Buf = nil
+	d.ioFree = append(d.ioFree, w)
 }
 
 func (d *DB) writePagesTimed(c env.Ctx, disk device.Disk, page int64, data []byte) {
 	c.CPU(costs.Syscall + costs.PwriteBytes(len(data)))
-	w := &ioWaiter{mu: d.env.NewMutex()}
-	w.cond = d.env.NewCond(w.mu)
-	disk.Submit(&device.Request{Op: device.Write, Page: page, Buf: data, Done: func() {
-		w.mu.Lock(nil)
-		w.done = true
-		w.mu.Unlock(nil)
-		w.cond.Broadcast(nil)
-	}})
+	w := d.getIOWaiter()
+	w.req = device.Request{Op: device.Write, Page: page, Buf: data, Done: w.doneFn}
+	disk.Submit(&w.req)
 	w.mu.Lock(c)
 	for !w.done {
 		w.cond.Wait(c)
 	}
 	w.mu.Unlock(c)
+	w.req.Buf = nil
+	d.ioFree = append(d.ioFree, w)
 }
 
 // ---- engine lifecycle ----
@@ -293,7 +319,7 @@ func (d *DB) BulkLoad(items []kv.Item) error {
 func (d *DB) Submit(c env.Ctx, r *kv.Request) {
 	switch r.Op {
 	case kv.OpGet:
-		v, ok := d.Get(c, r.Key)
+		v, ok := d.getInto(c, r.Key, &r.ValueBuf)
 		r.Done(kv.Result{Found: ok, Value: v})
 	case kv.OpUpdate:
 		d.Put(c, r.Key, r.Value)
@@ -302,11 +328,12 @@ func (d *DB) Submit(c env.Ctx, r *kv.Request) {
 		d.Delete(c, r.Key)
 		r.Done(kv.Result{Found: true})
 	case kv.OpRMW:
-		_, _ = d.Get(c, r.Key)
+		_, _ = d.getInto(c, r.Key, &r.ValueBuf)
 		d.Put(c, r.Key, r.Value)
 		r.Done(kv.Result{Found: true})
 	case kv.OpScan:
-		items := d.Scan(c, r.Key, r.ScanCount)
+		items := d.scanInto(c, r.Key, r.ScanCount, r.ScanBuf[:0])
+		r.ScanBuf = items
 		r.Done(kv.Result{Found: len(items) > 0, ScanN: len(items)})
 	}
 }
@@ -387,6 +414,13 @@ func (d *DB) l0Count() int {
 
 // Get returns the newest value for key.
 func (d *DB) Get(c env.Ctx, key []byte) ([]byte, bool) {
+	return d.getInto(c, key, nil)
+}
+
+// getInto is Get with optional caller-owned value scratch: when vdst is
+// non-nil the returned value is backed by *vdst (grown as needed) and is
+// only valid until the caller reuses the scratch.
+func (d *DB) getInto(c env.Ctx, key []byte, vdst *[]byte) ([]byte, bool) {
 	d.stats.Gets++
 	// Memtables.
 	c.CPU(costs.LockUncontended)
@@ -394,13 +428,13 @@ func (d *DB) Get(c env.Ctx, key []byte) ([]byte, bool) {
 	c.CPU(d.mem.lookupCost())
 	if e, ok := d.mem.get(key); ok {
 		d.writeMu.Unlock(c)
-		return copyVal(e)
+		return copyValInto(e, vdst)
 	}
 	if d.imm != nil {
 		c.CPU(d.imm.lookupCost())
 		if e, ok := d.imm.get(key); ok {
 			d.writeMu.Unlock(c)
-			return copyVal(e)
+			return copyValInto(e, vdst)
 		}
 	}
 	d.writeMu.Unlock(c)
@@ -410,33 +444,44 @@ func (d *DB) Get(c env.Ctx, key []byte) ([]byte, bool) {
 	defer d.unref(c, cands)
 	if d.cfg.Fragmented {
 		// Overlapping fragments: search all, keep newest seq.
-		var best *entry
+		var best entry
+		haveBest := false
 		for _, t := range cands {
 			if e, ok := d.searchTable(c, t, key); ok {
-				if best == nil || e.seq > best.seq {
-					ec := e
-					best = &ec
+				if !haveBest || e.seq > best.seq {
+					best = e
+					haveBest = true
 				}
 			}
 		}
-		if best == nil {
+		if !haveBest {
 			return nil, false
 		}
-		return copyVal(*best)
+		return copyValInto(best, vdst)
 	}
 	for _, t := range cands {
 		if e, ok := d.searchTable(c, t, key); ok {
-			return copyVal(e)
+			return copyValInto(e, vdst)
 		}
 	}
 	return nil, false
 }
 
-func copyVal(e entry) ([]byte, bool) {
+func copyValInto(e entry, vdst *[]byte) ([]byte, bool) {
 	if e.tombstone {
 		return nil, false
 	}
-	return append([]byte(nil), e.value...), true
+	n := len(e.value)
+	if vdst != nil && *vdst != nil && cap(*vdst) >= n {
+		v := (*vdst)[:n]
+		copy(v, e.value)
+		return v, true
+	}
+	v := append([]byte(nil), e.value...)
+	if vdst != nil && v != nil {
+		*vdst = v
+	}
+	return v, true
 }
 
 // snapshotCandidates collects, under the version lock, the tables that may
@@ -445,6 +490,10 @@ func (d *DB) snapshotCandidates(c env.Ctx, key []byte) []*sstable {
 	c.CPU(costs.LockUncontended)
 	d.verMu.Lock(c)
 	var out []*sstable
+	if n := len(d.candPool); n > 0 {
+		out = d.candPool[n-1]
+		d.candPool = d.candPool[:n-1]
+	}
 	for li, lvl := range d.levels {
 		if li == 0 || d.cfg.Fragmented {
 			// Overlapping: newest (latest id) first.
@@ -477,6 +526,10 @@ func (d *DB) unref(c env.Ctx, tables []*sstable) {
 		if t.refs == 0 && t.zombie {
 			d.free(c, t) // dropped by a compaction while we were reading
 		}
+	}
+	if cap(tables) > 0 {
+		clear(tables) // drop table pointers so pooled slices don't pin them
+		d.candPool = append(d.candPool, tables[:0])
 	}
 	d.verMu.Unlock(c)
 }
@@ -540,6 +593,13 @@ func (d *DB) blockData(c env.Ctx, t *sstable, bi int) []byte {
 // Scan returns up to count live items with key >= start in key order,
 // merging the memtables and every overlapping table.
 func (d *DB) Scan(c env.Ctx, start []byte, count int) []kv.Item {
+	return d.scanInto(c, start, count, nil)
+}
+
+// scanInto is Scan with a caller-owned destination: dst's slots (and their
+// Key/Value capacity) are reused via kv.AppendItem, so hot-path callers
+// that only count the results recycle one buffer across scans.
+func (d *DB) scanInto(c env.Ctx, start []byte, count int, dst []kv.Item) []kv.Item {
 	d.stats.Scans++
 	var sources []*scanSource
 	c.CPU(costs.LockUncontended)
@@ -550,9 +610,14 @@ func (d *DB) Scan(c env.Ctx, start []byte, count int) []kv.Item {
 	}
 	d.writeMu.Unlock(c)
 
-	// Snapshot overlapping tables.
+	// Snapshot overlapping tables (into a recycled candidate slice; unref
+	// returns it to the pool).
 	d.verMu.Lock(c)
 	var tabs []*sstable
+	if n := len(d.candPool); n > 0 {
+		tabs = d.candPool[n-1]
+		d.candPool = d.candPool[:n-1]
+	}
 	for _, lvl := range d.levels {
 		for _, t := range lvl {
 			if bytes.Compare(t.max, start) >= 0 {
@@ -567,26 +632,31 @@ func (d *DB) Scan(c env.Ctx, start []byte, count int) []kv.Item {
 		sources = append(sources, d.tableSource(c, t, start))
 	}
 
-	out := mergeScan(c, sources, count)
+	out := mergeScan(c, sources, count, dst)
 	return out
 }
 
-// scanSource is a peekable stream of entries in key order.
+// scanSource is a peekable stream of entries in key order. The peeked
+// entry is held by value: boxing it would allocate once per entry walked.
 type scanSource struct {
-	peeked *entry
-	next   func() (entry, bool)
+	cur  entry
+	ok   bool
+	eof  bool
+	next func() (entry, bool)
 }
 
-func (s *scanSource) peek() *entry {
-	if s.peeked == nil {
-		if e, ok := s.next(); ok {
-			s.peeked = &e
+func (s *scanSource) peek() (entry, bool) {
+	if !s.ok && !s.eof {
+		if e, got := s.next(); got {
+			s.cur, s.ok = e, true
+		} else {
+			s.eof = true
 		}
 	}
-	return s.peeked
+	return s.cur, s.ok
 }
 
-func (s *scanSource) advance() { s.peeked = nil }
+func (s *scanSource) advance() { s.ok = false }
 
 func sliceSource(ents []entry) *scanSource {
 	i := 0
@@ -637,45 +707,42 @@ func (d *DB) tableSource(c env.Ctx, t *sstable, start []byte) *scanSource {
 }
 
 // mergeScan merges sources by (key asc, seq desc), deduplicates and drops
-// tombstones, returning up to count items.
-func mergeScan(c env.Ctx, sources []*scanSource, count int) []kv.Item {
-	var out []kv.Item
+// tombstones, appending up to count items to dst (slot capacity reused,
+// see kv.AppendItem).
+func mergeScan(c env.Ctx, sources []*scanSource, count int, dst []kv.Item) []kv.Item {
+	out := dst
 	var lastKey []byte
 	for len(out) < count {
 		// Pick the smallest key; among equal keys the highest seq.
 		var best *scanSource
+		var bestE entry
 		for _, s := range sources {
-			e := s.peek()
-			if e == nil {
+			e, ok := s.peek()
+			if !ok {
 				continue
 			}
 			if best == nil {
-				best = s
+				best, bestE = s, e
 				continue
 			}
-			be := best.peek()
-			cmp := bytes.Compare(e.key, be.key)
-			if cmp < 0 || (cmp == 0 && e.seq > be.seq) {
-				best = s
+			cmp := bytes.Compare(e.key, bestE.key)
+			if cmp < 0 || (cmp == 0 && e.seq > bestE.seq) {
+				best, bestE = s, e
 			}
 		}
 		if best == nil {
 			break
 		}
-		e := *best.peek()
 		best.advance()
 		c.CPU(costs.IterStep)
-		if lastKey != nil && bytes.Equal(e.key, lastKey) {
+		if lastKey != nil && bytes.Equal(bestE.key, lastKey) {
 			continue // older duplicate
 		}
-		lastKey = append(lastKey[:0], e.key...)
-		if e.tombstone {
+		lastKey = append(lastKey[:0], bestE.key...)
+		if bestE.tombstone {
 			continue
 		}
-		out = append(out, kv.Item{
-			Key:   append([]byte(nil), e.key...),
-			Value: append([]byte(nil), e.value...),
-		})
+		out = kv.AppendItem(out, bestE.key, bestE.value)
 	}
 	return out
 }

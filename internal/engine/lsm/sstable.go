@@ -22,6 +22,7 @@ import (
 	"kvell/internal/device"
 	"kvell/internal/env"
 	"kvell/internal/kv"
+	"kvell/internal/slab"
 )
 
 // entryHeader: klen(2) vlen(4) seq(8) flags(1).
@@ -58,8 +59,11 @@ func newBloom(n int, bitsPerKey int) *bloom {
 
 func (b *bloom) nbits() uint64 { return uint64(len(b.bits)) * 64 }
 
-func (b *bloom) add(key []byte) {
-	h := kv.Hash64(key)
+func (b *bloom) add(key []byte) { b.addHash(kv.Hash64(key)) }
+
+// addHash inserts a precomputed kv.Hash64 key hash, letting builders defer
+// filter construction without retaining key copies.
+func (b *bloom) addHash(h uint64) {
 	d := h>>33 | h<<31
 	for i := uint32(0); i < b.k; i++ {
 		bit := h % b.nbits()
@@ -116,18 +120,23 @@ func (t *sstable) containsKey(key []byte) bool {
 	return bytes.Compare(t.min, key) <= 0 && bytes.Compare(key, t.max) <= 0
 }
 
-// tableBuilder accumulates sorted entries and writes an SSTable.
+// tableBuilder accumulates sorted entries and writes an SSTable. When arena
+// is set, transient page images are arena-allocated: they are dead once
+// finish has written them, so the owning thread can Reset the arena after
+// the job and rebuild tables without churning the heap. Long-lived state
+// (block firstKeys, min/max, the filter) never comes from the arena.
 type tableBuilder struct {
-	db         *DB
-	disk       device.Disk
-	buf        []byte // current block payload
-	blocks     []block
-	pageCur    int64 // next relative page
-	pagesData  [][]byte
-	filterKeys [][]byte
-	min, max   []byte
-	entries    int64
-	dataLen    int64
+	db           *DB
+	disk         device.Disk
+	arena        *slab.Arena
+	buf          []byte // current block payload
+	blocks       []block
+	pageCur      int64 // next relative page
+	pagesData    [][]byte
+	filterHashes []uint64
+	min, max     []byte
+	entries      int64
+	dataLen      int64
 }
 
 func (d *DB) newBuilder(disk device.Disk) *tableBuilder {
@@ -180,7 +189,7 @@ func (b *tableBuilder) add(e *entry) {
 	off := len(b.buf)
 	b.buf = append(b.buf, make([]byte, n)...)
 	encodeEntry(b.buf[off:], e)
-	b.filterKeys = append(b.filterKeys, append([]byte(nil), e.key...))
+	b.filterHashes = append(b.filterHashes, kv.Hash64(e.key))
 	if b.min == nil {
 		b.min = append([]byte(nil), e.key...)
 	}
@@ -194,8 +203,15 @@ func (b *tableBuilder) finishBlock() {
 		return
 	}
 	pages := (len(b.buf) + device.PageSize - 1) / device.PageSize
-	padded := make([]byte, pages*device.PageSize)
-	copy(padded, b.buf)
+	var padded []byte
+	if b.arena != nil {
+		padded = b.arena.Alloc(pages * device.PageSize)
+		n := copy(padded, b.buf)
+		clear(padded[n:]) // tail must decode as padding
+	} else {
+		padded = make([]byte, pages*device.PageSize)
+		copy(padded, b.buf)
+	}
 	b.pagesData = append(b.pagesData, padded)
 	blk := &b.blocks[len(b.blocks)-1]
 	blk.pages = int32(pages)
@@ -226,9 +242,9 @@ func (b *tableBuilder) finish(c env.Ctx) *sstable {
 		entries: b.entries,
 		dataLen: b.dataLen,
 	}
-	t.filter = newBloom(len(b.filterKeys), b.db.cfg.BloomBitsPerKey)
-	for _, k := range b.filterKeys {
-		t.filter.add(k)
+	t.filter = newBloom(len(b.filterHashes), b.db.cfg.BloomBitsPerKey)
+	for _, h := range b.filterHashes {
+		t.filter.addHash(h)
 	}
 	t.basePage = b.db.alloc(b.disk, b.pageCur)
 	for i := range t.blocks {

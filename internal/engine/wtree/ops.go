@@ -15,7 +15,7 @@ import (
 func (d *DB) Submit(c env.Ctx, r *kv.Request) {
 	switch r.Op {
 	case kv.OpGet:
-		v, ok := d.Get(c, r.Key)
+		v, ok := d.getInto(c, r.Key, &r.ValueBuf)
 		r.Done(kv.Result{Found: ok, Value: v})
 	case kv.OpUpdate:
 		d.Put(c, r.Key, r.Value)
@@ -24,11 +24,12 @@ func (d *DB) Submit(c env.Ctx, r *kv.Request) {
 		d.Delete(c, r.Key)
 		r.Done(kv.Result{Found: true})
 	case kv.OpRMW:
-		_, _ = d.Get(c, r.Key)
+		_, _ = d.getInto(c, r.Key, &r.ValueBuf)
 		d.Put(c, r.Key, r.Value)
 		r.Done(kv.Result{Found: true})
 	case kv.OpScan:
-		items := d.Scan(c, r.Key, r.ScanCount)
+		items := d.scanInto(c, r.Key, r.ScanCount, r.ScanBuf[:0])
+		r.ScanBuf = items
 		r.Done(kv.Result{Found: len(items) > 0, ScanN: len(items)})
 	}
 }
@@ -57,7 +58,17 @@ func (d *DB) logAppend(c env.Ctx, recBytes int) {
 	}
 	d.logMu.Unlock(c)
 	if lead {
-		buf := make([]byte, pages*device.PageSize)
+		// The leader owns logScratch while logWriting is set (the handoff is
+		// ordered by logMu); the slot content is never read back, so one
+		// zeroed buffer serves every slot write.
+		need := int(pages) * device.PageSize
+		buf := d.logScratch
+		if cap(buf) >= need {
+			buf = buf[:need]
+		} else {
+			buf = make([]byte, need)
+			d.logScratch = buf
+		}
 		page := d.logPage % (1 << 20)
 		d.logPage += pages
 		d.writeSync(c, page, buf)
@@ -166,6 +177,13 @@ func (d *DB) resizeLeafPages(l *leaf) {
 
 // Get returns the value for key.
 func (d *DB) Get(c env.Ctx, key []byte) ([]byte, bool) {
+	return d.getInto(c, key, nil)
+}
+
+// getInto is Get with optional caller-owned value scratch: when vdst is
+// non-nil the returned value is backed by *vdst (grown as needed) and only
+// valid until the caller reuses the scratch.
+func (d *DB) getInto(c env.Ctx, key []byte, vdst *[]byte) ([]byte, bool) {
 	c.CPU(costs.LockUncontended)
 	d.mu.Lock(c)
 	d.stats.Gets++
@@ -182,9 +200,18 @@ func (d *DB) Get(c env.Ctx, key []byte) ([]byte, bool) {
 	var val []byte
 	found := false
 	if i < len(l.ents) && bytes.Equal(l.ents[i].key, key) {
-		val = append([]byte(nil), l.ents[i].value...)
+		n := len(l.ents[i].value)
+		if vdst != nil && *vdst != nil && cap(*vdst) >= n {
+			val = (*vdst)[:n]
+		} else {
+			val = make([]byte, n)
+			if vdst != nil {
+				*vdst = val
+			}
+		}
+		copy(val, l.ents[i].value)
 		found = true
-		c.CPU(costs.MemBytes(len(val)))
+		c.CPU(costs.MemBytes(n))
 	}
 	d.mu.Unlock(c)
 	return val, found
@@ -219,10 +246,17 @@ func (d *DB) Delete(c env.Ctx, key []byte) bool {
 // key order, so sorted data yields several items per 4KB leaf read — the
 // design advantage for scans that Figure 10 quantifies.
 func (d *DB) Scan(c env.Ctx, start []byte, count int) []kv.Item {
+	return d.scanInto(c, start, count, nil)
+}
+
+// scanInto is Scan with a caller-owned destination: dst's slots (and their
+// Key/Value capacity) are reused via kv.AppendItem, so hot-path callers
+// that only count the results recycle one buffer across scans.
+func (d *DB) scanInto(c env.Ctx, start []byte, count int, dst []kv.Item) []kv.Item {
 	c.CPU(costs.LockUncontended)
 	d.mu.Lock(c)
 	d.stats.Scans++
-	var out []kv.Item
+	out := dst
 	li := d.findLeaf(c, start)
 	for li < len(d.leaves) && len(out) < count {
 		l := d.leaves[li]
@@ -244,10 +278,7 @@ func (d *DB) Scan(c env.Ctx, start []byte, count int) []kv.Item {
 				continue
 			}
 			c.CPU(costs.IterStep)
-			out = append(out, kv.Item{
-				Key:   append([]byte(nil), e.key...),
-				Value: append([]byte(nil), e.value...),
-			})
+			out = kv.AppendItem(out, e.key, e.value)
 			if len(out) >= count {
 				break
 			}
@@ -308,6 +339,7 @@ func storeOf(dd device.Disk) device.Store {
 // evictLoop writes dirty leaves back when the dirty fraction exceeds the
 // trigger, unblocking stalled writers.
 func (d *DB) evictLoop(c env.Ctx) {
+	var scratch []byte
 	for {
 		d.mu.Lock(c)
 		trigger := int64(float64(d.cfg.CacheBytes) * d.cfg.DirtyTriggerFrac)
@@ -330,17 +362,19 @@ func (d *DB) evictLoop(c env.Ctx) {
 			d.mu.Unlock(c)
 			continue
 		}
-		d.writeLeaf(c, victim, true)
+		d.writeLeaf(c, victim, true, &scratch)
 		d.mu.Unlock(c)
 		d.cond.Broadcast(c)
 	}
 }
 
 // writeLeaf reconciles and writes one dirty leaf (mu held; released around
-// the I/O). drop releases the leaf's memory after writing.
-func (d *DB) writeLeaf(c env.Ctx, l *leaf, drop bool) {
+// the I/O). drop releases the leaf's memory after writing. scratch is the
+// calling thread's serialization buffer — eviction and checkpoint can
+// overlap (mu is dropped around the write), so each keeps its own.
+func (d *DB) writeLeaf(c env.Ctx, l *leaf, drop bool, scratch *[]byte) {
 	c.CPU(costs.PageReconcile + costs.MemBytes(l.bytes))
-	buf := serializeLeaf(l)
+	buf := serializeLeafInto(l, scratch)
 	page, bytes := l.page, l.bytes
 	l.dirty = false
 	d.dirtyB -= int64(bytes)
@@ -358,6 +392,7 @@ func (d *DB) writeLeaf(c env.Ctx, l *leaf, drop bool) {
 // checkpointLoop periodically writes all dirty leaves (bounding the log),
 // §3.1's checkpointing.
 func (d *DB) checkpointLoop(c env.Ctx) {
+	var scratch []byte
 	for {
 		c.Sleep(d.cfg.CheckpointEvery)
 		d.mu.Lock(c)
@@ -376,7 +411,7 @@ func (d *DB) checkpointLoop(c env.Ctx) {
 			if victim == nil {
 				break
 			}
-			d.writeLeaf(c, victim, false)
+			d.writeLeaf(c, victim, false, &scratch)
 			d.stats.CheckpointLeaves++
 			if d.closing {
 				break

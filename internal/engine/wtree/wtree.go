@@ -105,6 +105,14 @@ type DB struct {
 	logBuf     int64
 	logWriting bool
 	logPage    int64
+	logScratch []byte // leader-owned slot buffer (exclusive while logWriting)
+
+	leafBufs [][]byte // recycled leaf read buffers (guarded by mu)
+
+	// Recycled synchronous-I/O waiters (host-only state: procs are
+	// cooperatively scheduled and pop/push contain no yield points, so the
+	// unlocked accesses cannot interleave).
+	waiterFree []*waiter
 
 	alloc *device.Allocator
 	disk  device.Disk
@@ -156,12 +164,27 @@ func (d *DB) Stop(c env.Ctx) {
 
 // ---- leaf (de)serialization ----
 
-func serializeLeaf(l *leaf) []byte {
+func serializeLeaf(l *leaf) []byte { return serializeLeafInto(l, nil) }
+
+// serializeLeafInto reconciles l into a page-aligned image. When scratch is
+// non-nil the image reuses *scratch (grown as needed), so a background
+// thread reconciling leaf after leaf allocates only when a leaf outgrows
+// every earlier one. The image is dead once the write completes.
+func serializeLeafInto(l *leaf, scratch *[]byte) []byte {
 	pages := (l.bytes + 4 + device.PageSize - 1) / device.PageSize
 	if pages < 1 {
 		pages = 1
 	}
-	buf := make([]byte, pages*device.PageSize)
+	need := pages * device.PageSize
+	var buf []byte
+	if scratch != nil && cap(*scratch) >= need {
+		buf = (*scratch)[:need]
+	} else {
+		buf = make([]byte, need)
+		if scratch != nil {
+			*scratch = buf
+		}
+	}
 	binary.LittleEndian.PutUint32(buf, uint32(len(l.ents)))
 	off := 4
 	for _, e := range l.ents {
@@ -171,6 +194,7 @@ func serializeLeaf(l *leaf) []byte {
 		copy(buf[off+6+len(e.key):], e.value)
 		off += entryBytes(len(e.key), len(e.value))
 	}
+	clear(buf[off:]) // reused scratch: keep the on-disk tail deterministic
 	return buf
 }
 
@@ -179,11 +203,27 @@ func deserializeLeaf(buf []byte) ([]entry, int) {
 	ents := make([]entry, 0, n)
 	off := 4
 	total := 0
+	// Size pass: one backing blob for every key and value turns 2n copies
+	// into 2 allocations per leaf. Mutation replaces whole slices and
+	// eviction drops ents, so per-entry backing buys nothing.
+	blobLen := 0
+	o := off
+	for i := 0; i < n; i++ {
+		klen := int(binary.LittleEndian.Uint16(buf[o:]))
+		vlen := int(binary.LittleEndian.Uint32(buf[o+2:]))
+		blobLen += klen + vlen
+		o += entryBytes(klen, vlen)
+	}
+	blob := make([]byte, blobLen)
+	bo := 0
 	for i := 0; i < n; i++ {
 		klen := int(binary.LittleEndian.Uint16(buf[off:]))
 		vlen := int(binary.LittleEndian.Uint32(buf[off+2:]))
-		k := append([]byte(nil), buf[off+6:off+6+klen]...)
-		v := append([]byte(nil), buf[off+6+klen:off+6+klen+vlen]...)
+		k := blob[bo : bo+klen : bo+klen]
+		copy(k, buf[off+6:])
+		v := blob[bo+klen : bo+klen+vlen : bo+klen+vlen]
+		copy(v, buf[off+6+klen:off+6+klen+vlen])
+		bo += klen + vlen
 		ents = append(ents, entry{key: k, value: v})
 		off += entryBytes(klen, vlen)
 		total += entryBytes(klen, vlen)
@@ -291,12 +331,26 @@ func (d *DB) loadLeaf(c env.Ctx, l *leaf) bool {
 	d.stats.CacheMisses++
 	pages := l.pages
 	page := l.page
+	need := int(pages) * device.PageSize
+	// Pop a recycled read buffer while the lock is still held; too-small
+	// buffers are dropped, so the pool converges on the largest leaf size.
+	var buf []byte
+	if n := len(d.leafBufs); n > 0 {
+		b := d.leafBufs[n-1]
+		d.leafBufs = d.leafBufs[:n-1]
+		if cap(b) >= need {
+			buf = b[:need]
+		}
+	}
 	d.mu.Unlock(c)
-	buf := make([]byte, pages*device.PageSize)
-	d.readSync(c, page, buf)
+	if buf == nil {
+		buf = make([]byte, need)
+	}
+	d.readSync(c, page, buf) // the read overwrites the whole buffer
 	ents, total := deserializeLeaf(buf)
 	c.CPU(costs.MemBytes(total))
 	d.mu.Lock(c)
+	d.leafBufs = append(d.leafBufs, buf) // deserializeLeaf copied out
 	if l.ents == nil {
 		l.ents = ents
 		l.bytes = total
@@ -308,28 +362,49 @@ func (d *DB) loadLeaf(c env.Ctx, l *leaf) bool {
 func (d *DB) readSync(c env.Ctx, page int64, buf []byte) {
 	// Buffered pread path (§6.3.1): syscall plus per-byte copy/checksum.
 	c.CPU(costs.Syscall + costs.PreadBytes(len(buf)))
-	w := newWaiter(d.env)
-	d.disk.Submit(&device.Request{Op: device.Read, Page: page, Buf: buf, Done: w.done})
+	w := d.getWaiter()
+	w.req = device.Request{Op: device.Read, Page: page, Buf: buf, Done: w.doneFn}
+	d.disk.Submit(&w.req)
 	w.wait(c)
+	d.putWaiter(w)
 }
 
 func (d *DB) writeSync(c env.Ctx, page int64, buf []byte) {
 	c.CPU(costs.Syscall + costs.PwriteBytes(len(buf)))
-	w := newWaiter(d.env)
-	d.disk.Submit(&device.Request{Op: device.Write, Page: page, Buf: buf, Done: w.done})
+	w := d.getWaiter()
+	w.req = device.Request{Op: device.Write, Page: page, Buf: buf, Done: w.doneFn}
+	d.disk.Submit(&w.req)
 	w.wait(c)
+	d.putWaiter(w)
 }
 
 type waiter struct {
-	mu   env.Mutex
-	cond env.Cond
-	ok   bool
+	mu     env.Mutex
+	cond   env.Cond
+	ok     bool
+	req    device.Request
+	doneFn func()
 }
 
-func newWaiter(e env.Env) *waiter {
-	w := &waiter{mu: e.NewMutex()}
-	w.cond = e.NewCond(w.mu)
+// getWaiter pops a recycled waiter — mutex, cond, bound done callback and
+// request record included — or builds one. The device copies the request's
+// fields at submission, so the record is free for reuse once wait returns.
+func (d *DB) getWaiter() *waiter {
+	if n := len(d.waiterFree); n > 0 {
+		w := d.waiterFree[n-1]
+		d.waiterFree = d.waiterFree[:n-1]
+		w.ok = false
+		return w
+	}
+	w := &waiter{mu: d.env.NewMutex()}
+	w.cond = d.env.NewCond(w.mu)
+	w.doneFn = w.done
 	return w
+}
+
+func (d *DB) putWaiter(w *waiter) {
+	w.req.Buf = nil
+	d.waiterFree = append(d.waiterFree, w)
 }
 
 func (w *waiter) done() {

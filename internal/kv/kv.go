@@ -5,8 +5,6 @@
 package kv
 
 import (
-	"fmt"
-
 	"kvell/internal/env"
 )
 
@@ -60,6 +58,34 @@ type Request struct {
 	Done      func(Result)
 	// Start is stamped by the issuer for latency accounting.
 	Start env.Time
+	// ValueBuf is caller-owned scratch an engine may use to back
+	// Result.Value for reads, growing it as needed. When set by a pooled
+	// request it lets the read path reuse one buffer across operations;
+	// Result.Value is then only valid until Done returns.
+	ValueBuf []byte
+	// ScanBuf is ValueBuf's counterpart for scans: caller-owned item
+	// scratch an engine may fill via AppendItem, reusing each slot's
+	// Key/Value capacity across operations. Like ValueBuf, the items are
+	// only valid until Done returns.
+	ScanBuf []Item
+}
+
+// AppendItem appends a copy of (key, value) to items. When items is a
+// recycled scratch buffer (e.g. Request.ScanBuf) with spare capacity, the
+// receiving slot's existing Key/Value buffers are reused instead of
+// allocating fresh copies.
+func AppendItem(items []Item, key, value []byte) []Item {
+	if n := len(items); n < cap(items) {
+		items = items[:n+1]
+		it := &items[n]
+		it.Key = append(it.Key[:0], key...)
+		it.Value = append(it.Value[:0], value...)
+		return items
+	}
+	return append(items, Item{
+		Key:   append([]byte(nil), key...),
+		Value: append([]byte(nil), value...),
+	})
 }
 
 // Engine is a key-value store under benchmark. Engines with internal worker
@@ -93,7 +119,21 @@ const KeyLen = 19 // "user" + 15 digits
 // Key formats record number i as a fixed-width, order-preserving key
 // (YCSB-style "user..." keys).
 func Key(i int64) []byte {
-	return []byte(fmt.Sprintf("user%015d", i))
+	buf := make([]byte, KeyLen)
+	FillKey(buf, i)
+	return buf
+}
+
+// FillKey writes the key for record i into buf, which must be exactly
+// KeyLen bytes. It is the allocation-free form of Key, for callers that own
+// a reusable buffer. i must be non-negative (record numbers always are).
+func FillKey(buf []byte, i int64) {
+	_ = buf[KeyLen-1]
+	buf[0], buf[1], buf[2], buf[3] = 'u', 's', 'e', 'r'
+	for j := KeyLen - 1; j >= 4; j-- {
+		buf[j] = byte('0' + i%10)
+		i /= 10
+	}
 }
 
 // KeyNum parses a generated key back to its record number (-1 if foreign).
@@ -115,6 +155,13 @@ func KeyNum(k []byte) int64 {
 // v, so tests can verify contents without storing an oracle copy.
 func Value(i int64, version uint64, n int) []byte {
 	buf := make([]byte, n)
+	FillValue(buf, i, version)
+	return buf
+}
+
+// FillValue writes the deterministic value for (record i, version) into buf
+// (the whole slice). It is the allocation-free form of Value.
+func FillValue(buf []byte, i int64, version uint64) {
 	// xorshift fill seeded from (record, version)
 	s := uint64(i)*0x9E3779B97F4A7C15 + version*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
 	for j := range buf {
@@ -123,7 +170,6 @@ func Value(i int64, version uint64, n int) []byte {
 		s ^= s << 17
 		buf[j] = byte(s)
 	}
-	return buf
 }
 
 // Hash64 is FNV-1a over k; used to shard keys across workers.

@@ -82,3 +82,31 @@ func TestOpTypeString(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendItemReusesSlots(t *testing.T) {
+	items := AppendItem(nil, []byte("alpha"), []byte("one"))
+	items = AppendItem(items, []byte("beta"), []byte("two"))
+	if len(items) != 2 || string(items[0].Key) != "alpha" || string(items[1].Value) != "two" {
+		t.Fatalf("appended items wrong: %v", items)
+	}
+	// Recycle: reslice to zero and refill; the slots' buffers must be reused.
+	k0, v0 := &items[0].Key[0], &items[0].Value[0]
+	items = items[:0]
+	items = AppendItem(items, []byte("gamma"), []byte("ten"))
+	if string(items[0].Key) != "gamma" || string(items[0].Value) != "ten" {
+		t.Fatalf("refilled item wrong: %v", items[0])
+	}
+	if &items[0].Key[0] != k0 || &items[0].Value[0] != v0 {
+		t.Fatal("refill did not reuse the recycled slot's buffers")
+	}
+	// Growing past a slot's capacity must still copy correctly.
+	items = AppendItem(items[:0], []byte("a-much-longer-key-than-before"), []byte("a-much-longer-value-than-before"))
+	if string(items[0].Key) != "a-much-longer-key-than-before" {
+		t.Fatalf("grown key wrong: %q", items[0].Key)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		items = AppendItem(items[:0], []byte("alpha"), []byte("one"))
+	}); n != 0 {
+		t.Errorf("steady-state AppendItem allocates %v per call, want 0", n)
+	}
+}

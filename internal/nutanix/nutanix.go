@@ -84,10 +84,13 @@ func (g *Generator) nextRecord() int64 {
 		if hot < 1 {
 			hot = 1
 		}
-		// Quadratic bias inside the hot set, hashed to spread over slabs.
+		// Quadratic bias inside the hot set, hashed to spread over slabs
+		// (key formatted into a stack buffer only to feed the hash).
 		u := g.r.Float64()
 		i := int64(u * u * float64(hot))
-		return int64(kv.Hash64(kv.Key(i)) % uint64(g.records))
+		var kb [kv.KeyLen]byte
+		kv.FillKey(kb[:], i)
+		return int64(kv.Hash64(kb[:]) % uint64(g.records))
 	}
 	return g.r.Int63n(g.records)
 }
@@ -103,15 +106,52 @@ func (g *Generator) InitialItems() []kv.Item {
 
 // Next produces the next operation (57% writes, 41% reads, 2% scans).
 func (g *Generator) Next() *kv.Request {
+	r := &kv.Request{}
+	g.FillNext(r)
+	return r
+}
+
+// FillNext writes the next operation into r, reusing r's key and value
+// buffers when large enough (allocation-free form of Next; identical RNG
+// draw order, so the stream is bit-identical). The engine must be done with
+// r (Done invoked) before it is refilled.
+func (g *Generator) FillNext(r *kv.Request) {
 	p := g.r.Intn(100)
+	r.ScanCount = 0
 	switch {
 	case p < WritePct:
 		i := g.nextRecord()
 		g.version++
-		return &kv.Request{Op: kv.OpUpdate, Key: kv.Key(i), Value: kv.Value(i, g.version, g.valueBytes(i))}
+		r.Op = kv.OpUpdate
+		g.fillKey(r, i)
+		g.fillValue(r, i, g.version)
 	case p < WritePct+ReadPct:
-		return &kv.Request{Op: kv.OpGet, Key: kv.Key(g.nextRecord())}
+		r.Op = kv.OpGet
+		g.fillKey(r, g.nextRecord())
+		r.Value = r.Value[:0]
 	default:
-		return &kv.Request{Op: kv.OpScan, Key: kv.Key(g.nextRecord()), ScanCount: 1 + g.r.Intn(100)}
+		r.Op = kv.OpScan
+		g.fillKey(r, g.nextRecord())
+		r.Value = r.Value[:0]
+		r.ScanCount = 1 + g.r.Intn(100)
 	}
+}
+
+func (g *Generator) fillKey(r *kv.Request, i int64) {
+	if cap(r.Key) >= kv.KeyLen {
+		r.Key = r.Key[:kv.KeyLen]
+	} else {
+		r.Key = make([]byte, kv.KeyLen)
+	}
+	kv.FillKey(r.Key, i)
+}
+
+func (g *Generator) fillValue(r *kv.Request, i int64, version uint64) {
+	n := g.valueBytes(i)
+	if cap(r.Value) >= n {
+		r.Value = r.Value[:n]
+	} else {
+		r.Value = make([]byte, n)
+	}
+	kv.FillValue(r.Value, i, version)
 }

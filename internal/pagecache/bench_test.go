@@ -23,3 +23,36 @@ func BenchmarkCacheInsertEvict(b *testing.B) {
 		c.Insert(int64(i), nil)
 	}
 }
+
+// BenchmarkPagecacheHit is the engine-visible hit path: lookup, LRU
+// promotion, data return.
+func BenchmarkPagecacheHit(b *testing.B) {
+	c := New(10_000, IndexBTree)
+	data := PageBuf()
+	for i := int64(0); i < 10_000; i++ {
+		c.Insert(i, data)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c.Get(int64(i%10_000)) == nil {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+// BenchmarkPagecacheMiss is the probe-and-fail path every uncached read
+// takes before issuing I/O.
+func BenchmarkPagecacheMiss(b *testing.B) {
+	c := New(10_000, IndexBTree)
+	for i := int64(0); i < 10_000; i++ {
+		c.Insert(i, nil)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c.Get(10_000+int64(i%10_000)) != nil {
+			b.Fatal("unexpected hit")
+		}
+	}
+}

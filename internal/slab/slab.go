@@ -336,6 +336,51 @@ func (s *Slab) DecodeSlot(buf []byte) (Decoded, error) {
 	}
 }
 
+// DecodeSlotView is DecodeSlot without the defensive copies: for live slots
+// the returned Item.Key and Item.Value alias buf wherever they are
+// contiguous in it (always for sub-page classes; for multi-page items only
+// when the payload fits the first page — longer values are assembled into a
+// fresh buffer, exactly like DecodeSlot). The views are valid only as long
+// as buf's contents are; callers that retain the item must copy.
+func (s *Slab) DecodeSlotView(buf []byte) (Decoded, error) {
+	if s.slotsPerPage > 0 {
+		if len(buf) != s.Stride {
+			return Decoded{}, ErrBuf
+		}
+		if buf[0] != flagLive {
+			return s.DecodeSlot(buf) // non-live slots carry no views
+		}
+		ts := binary.LittleEndian.Uint64(buf[1:9])
+		klen := int(binary.LittleEndian.Uint16(buf[9:11]))
+		vlen := int(binary.LittleEndian.Uint32(buf[11:15]))
+		if HeaderSize+klen+vlen > s.Stride {
+			return Decoded{Kind: Corrupt}, nil
+		}
+		return Decoded{Kind: Live, Item: Item{
+			Timestamp: ts,
+			Key:       buf[HeaderSize : HeaderSize+klen : HeaderSize+klen],
+			Value:     buf[HeaderSize+klen : HeaderSize+klen+vlen : HeaderSize+klen+vlen],
+		}}, nil
+	}
+	if int64(len(buf)) != s.pagesPerSlot*device.PageSize {
+		return Decoded{}, ErrBuf
+	}
+	if buf[0] != flagLive {
+		return s.DecodeSlot(buf)
+	}
+	klen := int(binary.LittleEndian.Uint16(buf[9:11]))
+	vlen := int(binary.LittleEndian.Uint32(buf[11:15]))
+	if klen+vlen <= PagePayload {
+		ts := binary.LittleEndian.Uint64(buf[1:9])
+		return Decoded{Kind: Live, Item: Item{
+			Timestamp: ts,
+			Key:       buf[HeaderSize : HeaderSize+klen : HeaderSize+klen],
+			Value:     buf[HeaderSize+klen : HeaderSize+klen+vlen : HeaderSize+klen+vlen],
+		}}, nil
+	}
+	return s.DecodeSlot(buf)
+}
+
 // ExtentCount returns how many extents are allocated.
 func (s *Slab) ExtentCount() int { return len(s.extents) }
 

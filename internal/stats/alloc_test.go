@@ -1,0 +1,33 @@
+package stats
+
+import (
+	"testing"
+
+	"kvell/internal/env"
+)
+
+// BenchmarkStatsRecord measures one latency sample landing in the
+// fixed-bucket histogram.
+func BenchmarkStatsRecord(b *testing.B) {
+	h := NewHist()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Add(env.Time(i%10_000_000) + 1)
+	}
+}
+
+// TestAllocBudgetStatsRecord pins Add at zero allocations: recording a
+// sample must never touch the heap, whatever bucket it lands in.
+func TestAllocBudgetStatsRecord(t *testing.T) {
+	h := NewHist()
+	v := env.Time(1)
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Add(v)
+		v = v*7 + 3 // wander across fast and slow buckets
+		if v > 1<<40 {
+			v = 1
+		}
+	}); n != 0 {
+		t.Errorf("Hist.Add allocates %v per sample, want 0", n)
+	}
+}

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"kvell/internal/env"
@@ -32,7 +33,11 @@ func NewHist() *Hist {
 	return &Hist{counts: make([]int64, 512), min: math.MaxInt64}
 }
 
-func bucketOf(v env.Time) int {
+// slowBucketOf is the defining bucket formula. It is kept only as the oracle
+// for the precomputed tables below (and their equivalence test); the hot path
+// uses bucketOf, which must agree bit-for-bit — histogram digests hash raw
+// bucket counts, so any divergence breaks the golden schedule fixtures.
+func slowBucketOf(v env.Time) int {
 	if v < 1 {
 		return 0
 	}
@@ -42,6 +47,53 @@ func bucketOf(v env.Time) int {
 	}
 	if b > 511 {
 		b = 511
+	}
+	return b
+}
+
+// bucketBounds[b] is the smallest v with slowBucketOf(v) >= b, so bucket b
+// covers [bucketBounds[b], bucketBounds[b+1]). octaveFirst[l] is the bucket
+// of the smallest value with bit length l, narrowing the table scan to one
+// power-of-two octave (at most ~15 buckets at 5% growth).
+var (
+	bucketBounds [512]env.Time
+	octaveFirst  [65]int16
+)
+
+func init() {
+	bucketBounds[0] = 0
+	for b := 1; b < 512; b++ {
+		c := env.Time(math.Exp(float64(b) * logGrowth))
+		if c < 1 {
+			c = 1
+		}
+		// math.Exp is only an estimate of the boundary; walk to the exact
+		// smallest integer the oracle puts in bucket >= b.
+		for slowBucketOf(c) >= b {
+			c--
+		}
+		for slowBucketOf(c) < b {
+			c++
+		}
+		bucketBounds[b] = c
+	}
+	for l := 1; l <= 64; l++ {
+		v := env.Time(1) << (l - 1)
+		if l == 64 || v > bucketBounds[511] {
+			octaveFirst[l] = 511
+			continue
+		}
+		octaveFirst[l] = int16(slowBucketOf(v))
+	}
+}
+
+func bucketOf(v env.Time) int {
+	if v < 1 {
+		return 0
+	}
+	b := int(octaveFirst[bits.Len64(uint64(v))])
+	for b+1 < 512 && bucketBounds[b+1] <= v {
+		b++
 	}
 	return b
 }

@@ -160,3 +160,30 @@ func TestMedian(t *testing.T) {
 		t.Fatal("median mutated input")
 	}
 }
+
+// TestBucketOfMatchesOracle pins the table-driven bucketOf to the defining
+// log formula: the histogram digests hash raw bucket counts, so the two must
+// agree on every input, especially at bucket boundaries.
+func TestBucketOfMatchesOracle(t *testing.T) {
+	// Every boundary and its neighbors.
+	for b := 1; b < 512; b++ {
+		for _, v := range []env.Time{bucketBounds[b] - 1, bucketBounds[b], bucketBounds[b] + 1} {
+			if got, want := bucketOf(v), slowBucketOf(v); got != want {
+				t.Fatalf("bucketOf(%d) = %d, oracle %d (boundary of bucket %d)", v, got, want, b)
+			}
+		}
+	}
+	// Small values exhaustively, then random draws across the full range.
+	for v := env.Time(-2); v < 100_000; v++ {
+		if got, want := bucketOf(v), slowBucketOf(v); got != want {
+			t.Fatalf("bucketOf(%d) = %d, oracle %d", v, got, want)
+		}
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1_000_000; i++ {
+		v := env.Time(r.Int63n(bucketBounds[511] * 2))
+		if got, want := bucketOf(v), slowBucketOf(v); got != want {
+			t.Fatalf("bucketOf(%d) = %d, oracle %d", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package ycsb
+
+import (
+	"testing"
+
+	"kvell/internal/kv"
+)
+
+// BenchmarkYCSBNextOp measures the steady-state per-operation cost of the
+// workload generator: one FillNext into a recycled request.
+func BenchmarkYCSBNextOp(b *testing.B) {
+	g := NewGenerator(Core('a'), Zipfian, 1_000_000, 1024, 42)
+	var r kv.Request
+	g.FillNext(&r) // warm the key/value buffers
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.FillNext(&r)
+	}
+}
+
+// TestAllocBudgetYCSBFillNext pins the generator hot path at zero
+// allocations per operation once the request's buffers are warm.
+func TestAllocBudgetYCSBFillNext(t *testing.T) {
+	for _, w := range []byte{'a', 'b', 'c'} {
+		g := NewGenerator(Core(w), Zipfian, 100_000, 1024, 7)
+		var r kv.Request
+		for i := 0; i < 100; i++ {
+			g.FillNext(&r) // warm key/value buffers across op kinds
+		}
+		if n := testing.AllocsPerRun(1000, func() { g.FillNext(&r) }); n != 0 {
+			t.Errorf("workload %c: FillNext allocates %v per op, want 0", w, n)
+		}
+	}
+}

@@ -85,6 +85,9 @@ type zipf struct {
 	n            int64
 	zetan, zeta2 float64
 	alpha, eta   float64
+	// halfTheta caches math.Pow(0.5, theta), a constant probed on every
+	// draw; hoisting it out of next() does not change any produced bits.
+	halfTheta float64
 }
 
 const theta = 0.99
@@ -93,6 +96,7 @@ func newZipf(n int64) *zipf {
 	z := &zipf{theta: theta, n: n}
 	z.zeta2 = zetaStatic(2, theta)
 	z.zetan = zetaStatic(n, theta)
+	z.halfTheta = math.Pow(0.5, theta)
 	z.refresh()
 	return z
 }
@@ -128,7 +132,7 @@ func (z *zipf) next(r *rand.Rand) int64 {
 	if uz < 1 {
 		return 0
 	}
-	if uz < 1+math.Pow(0.5, z.theta) {
+	if uz < 1+z.halfTheta {
 		return 1
 	}
 	v := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
@@ -191,9 +195,12 @@ func (g *Generator) InitialItems() []kv.Item {
 func (g *Generator) nextRecord() int64 {
 	switch g.dist {
 	case Zipfian:
-		// Scrambled Zipfian: spread the hot items over the key space.
+		// Scrambled Zipfian: spread the hot items over the key space. The
+		// key is formatted into a stack buffer only to feed the hash.
 		v := g.z.next(g.r)
-		return int64(kv.Hash64(kv.Key(v)) % uint64(g.records))
+		var kb [kv.KeyLen]byte
+		kv.FillKey(kb[:], v)
+		return int64(kv.Hash64(kb[:]) % uint64(g.records))
 	case Latest:
 		v := g.z.next(g.r)
 		return g.records - 1 - v
@@ -202,30 +209,75 @@ func (g *Generator) nextRecord() int64 {
 	}
 }
 
+// fillKey points r.Key at a KeyLen prefix of its existing buffer (or a new
+// one) holding record i's key.
+func fillKey(r *kv.Request, i int64) {
+	if cap(r.Key) >= kv.KeyLen {
+		r.Key = r.Key[:kv.KeyLen]
+	} else {
+		r.Key = make([]byte, kv.KeyLen)
+	}
+	kv.FillKey(r.Key, i)
+}
+
+// fillValue points r.Value at an n-byte prefix of its existing buffer (or a
+// new one) holding record i's value at the given version.
+func fillValue(r *kv.Request, i int64, version uint64, n int) {
+	if cap(r.Value) >= n {
+		r.Value = r.Value[:n]
+	} else {
+		r.Value = make([]byte, n)
+	}
+	kv.FillValue(r.Value, i, version)
+}
+
 // Next produces the next operation. The caller owns the request.
 func (g *Generator) Next() *kv.Request {
+	r := &kv.Request{}
+	g.FillNext(r)
+	return r
+}
+
+// FillNext writes the next operation into r, reusing r's key and value
+// buffers when they are large enough — the allocation-free form of Next for
+// callers that recycle completed requests. It draws from the RNG in exactly
+// the order Next does, so a stream is bit-identical however it is produced.
+// The engine must be done with r (Done invoked) before it is refilled.
+func (g *Generator) FillNext(r *kv.Request) {
 	p := g.r.Intn(100)
 	wl := &g.wl
+	r.ScanCount = 0
 	switch {
 	case p < wl.ReadPct:
-		return &kv.Request{Op: kv.OpGet, Key: kv.Key(g.nextRecord())}
+		r.Op = kv.OpGet
+		fillKey(r, g.nextRecord())
+		r.Value = r.Value[:0]
 	case p < wl.ReadPct+wl.UpdatePct:
 		i := g.nextRecord()
 		g.version++
-		return &kv.Request{Op: kv.OpUpdate, Key: kv.Key(i), Value: kv.Value(i, g.version, g.ValueBytes())}
+		r.Op = kv.OpUpdate
+		fillKey(r, i)
+		fillValue(r, i, g.version, g.ValueBytes())
 	case p < wl.ReadPct+wl.UpdatePct+wl.RMWPct:
 		i := g.nextRecord()
 		g.version++
-		return &kv.Request{Op: kv.OpRMW, Key: kv.Key(i), Value: kv.Value(i, g.version, g.ValueBytes())}
+		r.Op = kv.OpRMW
+		fillKey(r, i)
+		fillValue(r, i, g.version, g.ValueBytes())
 	case p < wl.ReadPct+wl.UpdatePct+wl.RMWPct+wl.InsertPct:
 		i := g.records
 		g.records++
 		if g.z != nil {
 			g.z.grow(g.records)
 		}
-		return &kv.Request{Op: kv.OpUpdate, Key: kv.Key(i), Value: kv.Value(i, 0, g.ValueBytes())}
+		r.Op = kv.OpUpdate
+		fillKey(r, i)
+		fillValue(r, i, 0, g.ValueBytes())
 	default: // scan
 		n := 1 + g.r.Intn(wl.MaxScanLen)
-		return &kv.Request{Op: kv.OpScan, Key: kv.Key(g.nextRecord()), ScanCount: n}
+		r.Op = kv.OpScan
+		fillKey(r, g.nextRecord())
+		r.Value = r.Value[:0]
+		r.ScanCount = n
 	}
 }
