@@ -5,7 +5,14 @@ GO ?= go
 BENCH_PKGS = ./internal/sim ./internal/slab ./internal/pagecache \
 	./internal/ycsb ./internal/btree ./internal/stats
 
-.PHONY: all build vet fmt-check lint test race check bench alloc-budget
+.PHONY: all build vet fmt-check lint test race check bench alloc-budget crash-sweep
+
+# Crash sweep knobs: SEED picks the deterministic schedule (a CI failure
+# prints the seed to rerun here), K is points per engine, ENGINE narrows to
+# one engine (kvell, rocks, pebbles, wt, toku) or all.
+SEED ?= 1
+K ?= 25
+ENGINE ?= all
 
 all: check
 
@@ -37,17 +44,28 @@ race:
 alloc-budget:
 	$(GO) test -run AllocBudget ./...
 
+# Crash–recover–verify sweep (see DESIGN.md §9): kills each engine at K
+# seeded points under load, reboots on the power-loss disk images, verifies
+# no acknowledged write was lost and no torn value surfaced. Deterministic
+# per SEED; a failing point prints its exact repro flags.
+crash-sweep:
+	$(GO) run ./cmd/kvell-crash -engine $(ENGINE) -k $(K) -seed $(SEED)
+
 # Everything CI runs, in the same order.
-check: build vet fmt-check lint alloc-budget race
+check: build vet fmt-check lint alloc-budget crash-sweep race
 
 # Runs the kernel/allocator/page-cache microbenchmarks and writes
 # BENCH_sim.json at the repo root: per-benchmark ns/op, allocs/op and ops/sec,
 # with before/after/speedup against the checked-in pre-optimization baseline
 # (results/bench_baseline.json). Non-blocking in CI; the artifact seeds the
-# perf trajectory across PRs.
+# perf trajectory across PRs. The benchmark output lands in a temp file
+# rather than a tee pipe so a go test failure propagates (with `tee`, the
+# pipeline's exit status was tee's, and a broken benchmark exited 0).
 bench:
 	@tmp="$$(mktemp)"; \
-	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) | tee "$$tmp"; \
+	if ! $(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) > "$$tmp" 2>&1; then \
+		cat "$$tmp"; rm -f "$$tmp"; echo "bench failed"; exit 1; fi; \
+	cat "$$tmp"; \
 	$(GO) run ./cmd/kvell-benchjson -baseline results/bench_baseline.json \
 		-wall results/wallclock.json -o BENCH_sim.json < "$$tmp"; \
 	rm -f "$$tmp"; \

@@ -1,0 +1,77 @@
+// Command kvell-crash runs the crash–recover–verify sweep: it kills each
+// engine at seeded points mid-workload, reboots it on the power-loss disk
+// images, and verifies that every acknowledged write survived, no torn
+// value surfaced, and (for KVell) the rebuilt metadata is consistent.
+//
+// Usage:
+//
+//	kvell-crash                         # 25 points per engine, all engines
+//	kvell-crash -engine kvell -k 50     # deep sweep of one engine
+//	kvell-crash -engine rocks -seed 9 -point 17   # reproduce one failure
+//
+// The sweep is deterministic: every crash point, torn-write pattern and
+// post-recovery digest derives from -seed alone, so the repro line printed
+// on failure replays the exact same crash.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kvell/internal/harness"
+)
+
+func main() {
+	var (
+		engine  = flag.String("engine", "all", "engine to crash: kvell, rocks, pebbles, wt, toku, or all")
+		points  = flag.Int("k", 25, "seeded crash points per engine")
+		seed    = flag.Int64("seed", 1, "master seed (crash points and power-loss coins derive from it)")
+		records = flag.Int64("records", 8_000, "records in the store under test")
+		point   = flag.Int("point", 0, "run only this 1-based point (failure repro)")
+		verbose = flag.Bool("v", false, "print one line per surviving crash point")
+	)
+	flag.Parse()
+
+	var kinds []harness.EngineKind
+	if *engine == "all" {
+		kinds = harness.AllEngines
+	} else {
+		k, ok := harness.ParseEngineFlag(*engine)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown engine %q (want kvell, rocks, pebbles, wt, toku, all)\n", *engine)
+			os.Exit(2)
+		}
+		kinds = []harness.EngineKind{k}
+	}
+
+	opts := harness.SweepOpts{
+		Points:  *points,
+		Seed:    *seed,
+		Records: *records,
+		Point:   *point,
+		Verbose: *verbose,
+	}
+	failures := 0
+	start := time.Now()
+	for _, k := range kinds {
+		failures += harness.CrashSweep(k, opts, os.Stdout)
+	}
+	ran := *points
+	if *point > 0 {
+		ran = 1
+	}
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	if failures > 0 {
+		fmt.Printf("\ncrash sweep FAILED: %d failing point(s) (seed %d); rerun locally with make crash-sweep SEED=%d\n",
+			failures, *seed, *seed)
+		os.Exit(1)
+	}
+	fmt.Printf("crash sweep passed: %d point(s) x [%s], seed %d, %.1fs\n",
+		ran, strings.Join(names, ", "), *seed, time.Since(start).Seconds())
+}

@@ -47,6 +47,11 @@ type Engine struct {
 	ChargeSyscalls bool
 }
 
+// DeadDevice is implemented by devices that can die mid-run (the fault
+// injector's wrapped disk). Once Dead reports true the device accepts no
+// further I/O: submitted requests vanish and never complete.
+type DeadDevice interface{ Dead() bool }
+
 // New returns an I/O engine for dev using e's synchronization primitives.
 func New(e env.Env, dev device.Disk) *Engine {
 	a := &Engine{dev: dev, ChargeSyscalls: true}
@@ -66,6 +71,16 @@ func (a *Engine) Inflight() int { return a.inflight }
 // (io_submit). Completion data becomes available via GetEvents.
 func (a *Engine) Submit(c env.Ctx, ios []*IO) {
 	if len(ios) == 0 {
+		return
+	}
+	if dd, ok := a.dev.(DeadDevice); ok && dd.Dead() {
+		// The machine died mid-run: the syscall never executes (no CPU
+		// charge) and the requests are lost. They still count as in flight
+		// so a worker's GetEvents parks instead of spinning — nothing will
+		// ever complete them, and sim.Close unwinds the parked proc.
+		a.mu.Lock(c)
+		a.inflight += len(ios)
+		a.mu.Unlock(c)
 		return
 	}
 	if a.ChargeSyscalls {

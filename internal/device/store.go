@@ -9,6 +9,7 @@ package device
 import (
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -100,6 +101,31 @@ func (m *MemStore) Pages() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return len(m.pages)
+}
+
+// Snapshot returns a deep copy of the store's current page images — the
+// "disk at reboot" a fault injector hands to recovery. The copy shares
+// nothing with the live store, so post-crash mutations by still-unwinding
+// procs cannot leak into it.
+func (m *MemStore) Snapshot() *MemStore {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	// Collect and sort the page numbers first: map iteration order is
+	// randomized per run and the copy must not depend on it (the copies
+	// themselves are order-independent, but keeping the discipline uniform
+	// is cheaper than arguing each site).
+	nums := make([]int64, 0, len(m.pages))
+	for pg := range m.pages {
+		nums = append(nums, pg)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	c := NewMemStore()
+	for _, pg := range nums {
+		cp := new([PageSize]byte)
+		*cp = *m.pages[pg]
+		c.pages[pg] = cp
+	}
+	return c
 }
 
 // Free discards the content of count pages starting at page (space reuse

@@ -41,7 +41,17 @@ type Config struct {
 	// DirtyStallFrac stalls writers when dirty bytes exceed this fraction
 	// of the cache.
 	DirtyStallFrac float64
+	// Durable switches the commit log from the timing-only buffered model
+	// (zeroed buffers) to a real checksummed WAL (walog format): every
+	// record is flushed before the operation returns and ReplayLog rebuilds
+	// the store from the log after a crash. Off by default — it changes I/O
+	// timing, and the simulator's schedule goldens are recorded without it.
+	Durable bool
 }
+
+// logRegionPages is the page count reserved for the commit log before the
+// leaf allocator's arena (see New).
+const logRegionPages = 1 << 20
 
 // DefaultConfig returns a TokuMX-like configuration for scaled datasets.
 func DefaultConfig(disks ...device.Disk) Config {
@@ -133,9 +143,12 @@ type DB struct {
 	seq       uint64
 	closing   bool
 
-	logMu   env.Mutex
-	logBuf  int64
-	logPage int64
+	logMu      env.Mutex
+	logBuf     int64
+	logPage    int64
+	logWriting bool   // durable mode: one log write in flight at a time
+	logScratch []byte // durable mode: leader-owned chunk buffer
+	logPayload []byte // durable mode: record payload scratch
 
 	leafBufs [][]byte // recycled leaf read buffers (guarded by treeMu)
 
@@ -160,7 +173,7 @@ func New(e env.Env, cfg Config) *DB {
 	d.stallMu = e.NewMutex()
 	d.stallCond = e.NewCond(d.stallMu)
 	d.logMu = e.NewMutex()
-	d.alloc = device.NewAllocator(1 << 20)
+	d.alloc = device.NewAllocator(logRegionPages) // first pages reserved for the log
 	l := &leaf{ents: []entry{}, lruIdx: -1, pages: 1}
 	l.page = d.alloc.Alloc(1)
 	d.leaves = []*leaf{l}

@@ -36,7 +36,18 @@ type Config struct {
 	CheckpointEvery env.Time
 	// LeafBytes is the on-disk leaf page size (4KB in the paper's setup).
 	LeafBytes int
+	// Durable switches the commit log from the timing-only slot model
+	// (zeroed buffers, group commit) to a real checksummed WAL (walog
+	// format): every record is encoded, written to the log region and
+	// flushed before the operation returns, and ReplayLog can rebuild the
+	// store from the log after a crash. Off by default — it changes I/O
+	// timing, and the simulator's schedule goldens are recorded without it.
+	Durable bool
 }
+
+// logRegionPages is the page count reserved for the commit log before the
+// leaf allocator's arena (see New).
+const logRegionPages = 1 << 20
 
 // DefaultConfig returns the paper's WiredTiger-like configuration.
 func DefaultConfig(disks ...device.Disk) Config {
@@ -106,6 +117,7 @@ type DB struct {
 	logWriting bool
 	logPage    int64
 	logScratch []byte // leader-owned slot buffer (exclusive while logWriting)
+	logPayload []byte // durable mode: record payload scratch (same ownership)
 
 	leafBufs [][]byte // recycled leaf read buffers (guarded by mu)
 
@@ -132,7 +144,7 @@ func New(e env.Env, cfg Config) *DB {
 	d.mu = e.NewMutex()
 	d.cond = e.NewCond(d.mu)
 	d.logMu = e.NewMutex()
-	d.alloc = device.NewAllocator(1 << 20) // first pages reserved for the log
+	d.alloc = device.NewAllocator(logRegionPages) // first pages reserved for the log
 	// Start with one empty leaf so the tree is never empty.
 	l := &leaf{firstKey: nil, ents: []entry{}, lruIdx: -1}
 	l.pages = 1

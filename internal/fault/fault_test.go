@@ -1,0 +1,218 @@
+package fault_test
+
+import (
+	"bytes"
+	"hash/fnv"
+	"testing"
+
+	"kvell/internal/device"
+	"kvell/internal/env"
+	"kvell/internal/fault"
+	"kvell/internal/sim"
+)
+
+// rec is one write the scenario issued: extent, payload, and whether its
+// completion callback ran before the crash.
+type rec struct {
+	page  int64
+	n     int
+	data  []byte
+	acked bool
+}
+
+// runScenario drives a writer proc against a wrapped disk until the
+// injector kills the machine at write atWrite. Extents are disjoint
+// (stride 4, max 3 pages) over an initially-zero store, so each page's
+// legal post-crash content is exactly {payload, zeros}.
+func runScenario(t *testing.T, seed, atWrite int64) (*fault.Injector, *device.MemStore, []*rec) {
+	t.Helper()
+	s := sim.New(7)
+	defer s.Close()
+	d := device.NewSimDisk(s, device.AmazonNVMe(), nil)
+	inj := fault.NewInjector(s, fault.Config{Seed: seed, AtWrite: atWrite})
+	fd := inj.Wrap(d)
+	inj.Arm()
+
+	var recs []*rec
+	s.Go("writer", func(p *sim.Proc) {
+		for i := 0; ; i++ {
+			r := &rec{page: int64(i * 4), n: 1 + i%3}
+			r.data = make([]byte, r.n*device.PageSize)
+			for j := range r.data {
+				r.data[j] = byte(i*31 + j + 1) // +1: never all-zero
+			}
+			fd.Submit(&device.Request{
+				Op: device.Write, Page: r.page, Buf: r.data,
+				Done: func() { r.acked = true },
+			})
+			recs = append(recs, r)
+			if inj.Tripped() {
+				return
+			}
+			if i%8 == 7 {
+				p.Sleep(20 * env.Microsecond) // let some completions land
+			}
+		}
+	})
+	if err := s.Run(env.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Tripped() {
+		t.Fatalf("injector never tripped (writes=%d)", inj.Stats().Writes)
+	}
+	return inj, inj.Snapshots()[0], recs
+}
+
+func TestAckedWritesSurviveCrash(t *testing.T) {
+	inj, snap, recs := runScenario(t, 11, 40)
+	st := inj.Stats()
+	if st.Writes != 40 {
+		t.Fatalf("crashed at write %d, want 40", st.Writes)
+	}
+	if st.InFlight == 0 {
+		t.Fatal("no writes in flight at crash; scenario exercises nothing")
+	}
+	if st.Completed+st.Dropped+st.Torn != st.InFlight {
+		t.Fatalf("outcome counts %d+%d+%d don't partition in-flight %d",
+			st.Completed, st.Dropped, st.Torn, st.InFlight)
+	}
+	zero := make([]byte, device.PageSize)
+	buf := make([]byte, 3*device.PageSize)
+	nAcked := 0
+	for _, r := range recs {
+		got := buf[:r.n*device.PageSize]
+		if err := snap.ReadPages(r.page, got); err != nil {
+			t.Fatal(err)
+		}
+		if r.acked {
+			nAcked++
+			if !bytes.Equal(got, r.data) {
+				t.Fatalf("acked write at page %d lost or corrupted", r.page)
+			}
+			continue
+		}
+		// Un-acked: each page must be wholly old (zero) or wholly new —
+		// the ≤1-page atomicity model forbids intra-page mixtures.
+		for i := 0; i < r.n; i++ {
+			pg := got[i*device.PageSize : (i+1)*device.PageSize]
+			if !bytes.Equal(pg, zero) && !bytes.Equal(pg, r.data[i*device.PageSize:(i+1)*device.PageSize]) {
+				t.Fatalf("page %d of un-acked write at %d is an intra-page mixture", i, r.page)
+			}
+		}
+	}
+	if nAcked == 0 {
+		t.Fatal("no writes acked before crash; scenario exercises nothing")
+	}
+}
+
+func scenarioDigest(inj *fault.Injector, snap *device.MemStore, recs []*rec) uint64 {
+	h := fnv.New64a()
+	var scratch [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			scratch[i] = byte(v >> (8 * i))
+		}
+		h.Write(scratch[:])
+	}
+	st := inj.Stats()
+	put(uint64(inj.CrashTime()))
+	put(uint64(st.Writes))
+	put(uint64(st.InFlight))
+	put(uint64(st.Completed))
+	put(uint64(st.Dropped))
+	put(uint64(st.Torn))
+	buf := make([]byte, 3*device.PageSize)
+	for _, r := range recs {
+		got := buf[:r.n*device.PageSize]
+		if err := snap.ReadPages(r.page, got); err != nil {
+			panic(err)
+		}
+		h.Write(got)
+	}
+	return h.Sum64()
+}
+
+func TestCrashScheduleDeterministic(t *testing.T) {
+	inj1, snap1, recs1 := runScenario(t, 42, 33)
+	inj2, snap2, recs2 := runScenario(t, 42, 33)
+	if d1, d2 := scenarioDigest(inj1, snap1, recs1), scenarioDigest(inj2, snap2, recs2); d1 != d2 {
+		t.Fatalf("same seed, different crash outcome: %x vs %x", d1, d2)
+	}
+	if inj1.Stats() != inj2.Stats() {
+		t.Fatalf("same seed, different stats: %+v vs %+v", inj1.Stats(), inj2.Stats())
+	}
+	// Different power-loss seed over the identical workload: the schedule
+	// (crash point, in-flight set) matches but outcomes may differ; the
+	// test only pins that the seed is actually consumed.
+	inj3, snap3, recs3 := runScenario(t, 43, 33)
+	if inj3.Stats().Writes != inj1.Stats().Writes || inj3.CrashTime() != inj1.CrashTime() {
+		t.Fatalf("crash point depends on power-loss seed: %+v vs %+v", inj3.Stats(), inj1.Stats())
+	}
+	_ = snap3
+	_ = recs3
+}
+
+func TestCrashAtTime(t *testing.T) {
+	s := sim.New(7)
+	defer s.Close()
+	d := device.NewSimDisk(s, device.AmazonNVMe(), nil)
+	inj := fault.NewInjector(s, fault.Config{Seed: 5, AtTime: 500 * env.Microsecond})
+	fd := inj.Wrap(d)
+	inj.Arm()
+	buf := make([]byte, device.PageSize)
+	s.Go("writer", func(p *sim.Proc) {
+		for i := 0; !inj.Tripped(); i++ {
+			fd.Submit(&device.Request{Op: device.Write, Page: int64(i), Buf: buf})
+			p.Sleep(5 * env.Microsecond)
+		}
+	})
+	if err := s.Run(env.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Tripped() {
+		t.Fatal("AtTime trigger never fired")
+	}
+	if inj.CrashTime() != 500*env.Microsecond {
+		t.Fatalf("crashed at %v, want 500us", inj.CrashTime())
+	}
+	if now := s.Now(); now != 500*env.Microsecond {
+		t.Fatalf("sim advanced past the crash: now=%v", now)
+	}
+}
+
+func TestDeadDiskDropsEverything(t *testing.T) {
+	inj, snap, recs := runScenario(t, 3, 20)
+	fd := inj.Snapshots() // ensure snapshots exist
+	_ = fd
+	d := findDisk(inj)
+	lostBefore := inj.Stats().LostPost
+	buf := make([]byte, device.PageSize)
+	for i := range buf {
+		buf[i] = 0xEE
+	}
+	post := int64(1 << 20)
+	d.Submit(&device.Request{Op: device.Write, Page: post, Buf: buf})
+	if got := inj.Stats().LostPost; got != lostBefore+1 {
+		t.Fatalf("post-death submit not counted lost: %d", got)
+	}
+	got := make([]byte, device.PageSize)
+	if err := d.Store().ReadPages(post, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, device.PageSize)) {
+		t.Fatal("post-death write reached the live store")
+	}
+	if err := snap.ReadPages(post, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, device.PageSize)) {
+		t.Fatal("post-death write reached the snapshot")
+	}
+	_ = recs
+}
+
+// findDisk digs the wrapped disk back out via the snapshot identity (the
+// test helper returns only the injector; Snapshots order == Wrap order).
+func findDisk(inj *fault.Injector) *fault.Disk {
+	return inj.Disks()[0]
+}

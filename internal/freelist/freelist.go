@@ -68,6 +68,14 @@ func (l *List) PushHead(slot uint64) bool {
 	return true
 }
 
+// Heads returns a copy of the current in-memory head slots (consistency
+// checking: a head must never point at a live, indexed slot).
+func (l *List) Heads() []uint64 {
+	out := make([]uint64, len(l.heads))
+	copy(out, l.heads)
+	return out
+}
+
 // Pop removes and returns a head for reuse. The caller is responsible for
 // recovering the on-disk chain pointer of the popped slot (if any) via
 // PushHead once it reads the slot's page.

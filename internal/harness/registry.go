@@ -83,6 +83,7 @@ func All() []Experiment {
 		{"fig9b", "Scaled 'large dataset' YCSB on Config-Amazon-8NVMe", fig9b},
 		{"fig10", "YCSB E throughput vs item size: sorted vs unsorted", fig10},
 		{"recovery", "Crash recovery time (§6.6)", recoveryExp},
+		{"recovery-scale", "Recovery time vs store size (§6.6 full-scan rebuild)", recoveryScaleExp},
 		{"batchlat", "Batch size vs latency/bandwidth trade-off (§6.5.1)", batchLat},
 		{"ablation-cache", "Page-cache index: B-tree vs hash (tail latency)", ablationCache},
 		{"ablation-batch", "I/O batch size sweep", ablationBatch},

@@ -87,6 +87,7 @@ type Sim struct {
 	until   Time          // boundary of the Run in progress (< 0: none)
 	yield   chan struct{} // procs hand control back to the scheduler here
 	closed  bool
+	stopped bool // Stop() was called: Run dispatches no further events
 	failed  error
 	rng     *rand.Rand
 	live    int     // procs started and not yet finished
@@ -259,9 +260,9 @@ func (s *Sim) noEventBefore(t Time) bool {
 // cut the sleep short. Under this precondition the park/resume rendezvous is
 // unobservable: nothing else runs between park and wake.
 func (s *Sim) canFastResume(t Time) bool {
-	if s.closed {
-		// Teardown: a sleeping proc must park and take the shutdown panic,
-		// exactly like the unoptimized kernel.
+	if s.closed || s.stopped {
+		// Teardown or a frozen (crashed) sim: a sleeping proc must park —
+		// it is resumed only by Close's shutdown panic.
 		return false
 	}
 	if s.until >= 0 && t > s.until {
@@ -276,6 +277,19 @@ func (s *Sim) canFastResume(t Time) bool {
 // At schedules fn to run on the scheduler at time at (clamped to now). fn
 // must not block or park; it may wake procs and schedule further events.
 func (s *Sim) At(at Time, fn func()) { s.schedule(at, nil, fn) }
+
+// Stop freezes the simulation at the current instant: the Run in progress
+// dispatches no further events (pending events stay queued, parked procs stay
+// parked) and later Run calls return immediately. It models a machine dying
+// mid-run — the fault injector calls it at a crash point — and is permanent;
+// Close still tears the proc goroutines down. Safe to call from scheduled
+// functions and from proc context (a proc that calls Stop keeps running until
+// it next parks; with its devices dead it can make no further observable
+// progress).
+func (s *Sim) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Sim) Stopped() bool { return s.stopped }
 
 // Go starts a new proc running fn, beginning at the current virtual time.
 func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
@@ -338,7 +352,7 @@ func (s *Sim) wake(p *Proc) { s.schedule(s.now, p, nil) }
 // any. Run may be called repeatedly to advance a simulation in stages.
 func (s *Sim) Run(until Time) error {
 	s.until = until
-	for s.pending() > 0 && s.failed == nil {
+	for s.pending() > 0 && s.failed == nil && !s.stopped {
 		if until >= 0 && s.peek().at > until {
 			s.now = until
 			break
@@ -354,7 +368,7 @@ func (s *Sim) Run(until Time) error {
 			s.resumeProc(p)
 		}
 	}
-	if until >= 0 && s.now < until && s.failed == nil {
+	if until >= 0 && s.now < until && s.failed == nil && !s.stopped {
 		s.now = until
 	}
 	return s.failed
