@@ -5,7 +5,7 @@ GO ?= go
 BENCH_PKGS = ./internal/sim ./internal/slab ./internal/pagecache \
 	./internal/ycsb ./internal/btree ./internal/stats
 
-.PHONY: all build vet fmt-check lint test race check bench alloc-budget crash-sweep
+.PHONY: all build vet fmt-check lint test race check bench alloc-budget crash-sweep trace
 
 # Crash sweep knobs: SEED picks the deterministic schedule (a CI failure
 # prints the seed to rerun here), K is points per engine, ENGINE narrows to
@@ -50,6 +50,13 @@ alloc-budget:
 # per SEED; a failing point prints its exact repro flags.
 crash-sweep:
 	$(GO) run ./cmd/kvell-crash -engine $(ENGINE) -k $(K) -seed $(SEED)
+
+# Traced runs (see DESIGN.md §10): writes Chrome trace JSON (Perfetto) and
+# per-component latency breakdown tables for an LSM and a KVell run into
+# results/trace/. Deterministic per SEED.
+trace:
+	mkdir -p results/trace
+	$(GO) run ./cmd/kvell-trace -engine rocksdb,kvell -seed $(SEED) -o results/trace
 
 # Everything CI runs, in the same order.
 check: build vet fmt-check lint alloc-budget crash-sweep race

@@ -120,3 +120,4 @@ func BenchmarkAblationShared(b *testing.B)  { benchExperiment(b, "ablation-share
 func BenchmarkAblationInPlace(b *testing.B) { benchExperiment(b, "ablation-inplace") }
 func BenchmarkOldSSD(b *testing.B)          { benchExperiment(b, "oldssd") }
 func BenchmarkCPUPerIO(b *testing.B)        { benchExperiment(b, "cpuperio") }
+func BenchmarkTraceAttr(b *testing.B)       { benchExperiment(b, "traceattr") }

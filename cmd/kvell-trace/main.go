@@ -1,0 +1,133 @@
+// Command kvell-trace runs one experiment per engine with span tracing
+// enabled and writes the observability artifacts:
+//
+//	trace_<engine>.json     Chrome trace-event JSON; open in Perfetto
+//	                        (ui.perfetto.dev) or chrome://tracing
+//	breakdown_<engine>.txt  per-component latency attribution table
+//
+// Usage:
+//
+//	kvell-trace                                  # RocksDB-like and KVell, YCSB A
+//	kvell-trace -engine wiredtiger -workload B
+//	kvell-trace -engine rocksdb,kvell -dur 6s -sample 32 -o out/
+//
+// Everything in the artifacts is virtual time: the traces are bit-identical
+// across runs at a fixed seed, and tracing never perturbs the simulated
+// schedule (the untraced run's golden digests hold with tracing on).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"kvell/internal/env"
+	"kvell/internal/harness"
+	"kvell/internal/trace"
+	"kvell/internal/ycsb"
+)
+
+func engineKind(name string) (harness.EngineKind, bool) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "kvell":
+		return harness.KVell, true
+	case "rocksdb", "rocks", "lsm":
+		return harness.RocksLike, true
+	case "pebblesdb", "pebbles":
+		return harness.PebblesLike, true
+	case "wiredtiger", "wtree":
+		return harness.WiredTigerLike, true
+	case "tokumx", "toku", "betree":
+		return harness.TokuLike, true
+	}
+	return 0, false
+}
+
+// slug maps an engine display name to a filename fragment.
+func slug(engineName string) string {
+	return strings.ToLower(strings.TrimSuffix(engineName, "-like"))
+}
+
+func main() {
+	var (
+		engines  = flag.String("engine", "rocksdb,kvell", "comma-separated engines: kvell, rocksdb, pebblesdb, wiredtiger, tokumx")
+		workload = flag.String("workload", "A", "YCSB core workload (A-F)")
+		dist     = flag.String("dist", "uniform", "key distribution: uniform or zipfian")
+		records  = flag.Int64("records", 100_000, "dataset size in records")
+		item     = flag.Int("item", 1024, "item size in bytes")
+		dur      = flag.Duration("dur", 3*time.Second, "measured duration (virtual time)")
+		warmup   = flag.Duration("warmup", 0, "warmup (virtual time; default duration/4)")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		sample   = flag.Int("sample", 32, "trace 1 request in N (head sampling by sequence number)")
+		outDir   = flag.String("o", ".", "output directory for trace and breakdown files")
+	)
+	flag.Parse()
+
+	d := ycsb.Uniform
+	switch strings.ToLower(*dist) {
+	case "uniform":
+	case "zipfian":
+		d = ycsb.Zipfian
+	default:
+		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+	if len(*workload) != 1 || (*workload)[0] < 'A' || (*workload)[0] > 'F' {
+		fmt.Fprintf(os.Stderr, "workload must be a letter A-F, got %q\n", *workload)
+		os.Exit(2)
+	}
+	wl := (*workload)[0]
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "output dir: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, name := range strings.Split(*engines, ",") {
+		k, ok := engineKind(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown engine %q\n", name)
+			os.Exit(2)
+		}
+		tr := trace.NewTracer(*sample)
+		r := harness.Run(harness.Spec{
+			Name: "kvell-trace", Seed: *seed, Engine: k, Records: *records,
+			ItemSize: *item,
+			Gen: func(seed int64) harness.Generator {
+				return ycsb.NewGenerator(ycsb.Core(wl), d, *records, *item, seed)
+			},
+			Warmup:   env.Time(*warmup),
+			Duration: env.Time(*dur),
+			Tracer:   tr,
+		})
+		harness.ReportTrace(os.Stdout, r, tr)
+
+		tracePath := filepath.Join(*outDir, "trace_"+slug(r.EngineName)+".json")
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", tracePath, err)
+			os.Exit(1)
+		}
+		f.Close()
+
+		tablePath := filepath.Join(*outDir, "breakdown_"+slug(r.EngineName)+".txt")
+		tf, err := os.Create(tablePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(tf, "%s, YCSB %c %s, %d records, seed %d\n",
+			r.EngineName, wl, strings.ToLower(*dist), *records, *seed)
+		tr.WriteBreakdownTable(tf)
+		tf.Close()
+
+		fmt.Printf("  wrote %s and %s\n\n", tracePath, tablePath)
+	}
+	fmt.Println("open the .json files at https://ui.perfetto.dev (or chrome://tracing)")
+}

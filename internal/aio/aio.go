@@ -11,6 +11,7 @@ import (
 	"kvell/internal/costs"
 	"kvell/internal/device"
 	"kvell/internal/env"
+	"kvell/internal/trace"
 )
 
 // IO is a single asynchronous page request. Tag carries engine state
@@ -22,11 +23,20 @@ type IO struct {
 	Page int64
 	Buf  []byte
 	Tag  any
+	// Trace, if set, attributes the device time of this I/O to a request's
+	// trace context; Created backdates its queue wait to when the I/O joined
+	// the worker's batch.
+	Trace   *trace.Ctx
+	Created env.Time
 
 	eng  *Engine
 	req  device.Request
 	done func()
 }
+
+// Completed returns the device's predicted completion time for the last
+// submission of this I/O (valid once the I/O is returned by GetEvents).
+func (io *IO) Completed() env.Time { return io.req.Completed }
 
 // Engine is a per-worker asynchronous I/O context.
 type Engine struct {
@@ -105,7 +115,8 @@ func (a *Engine) Submit(c env.Ctx, ios []*IO) {
 				a.cond.Signal(nil)
 			}
 		}
-		io.req = device.Request{Op: io.Op, Page: io.Page, Buf: io.Buf, Done: io.done}
+		io.req = device.Request{Op: io.Op, Page: io.Page, Buf: io.Buf, Done: io.done,
+			Trace: io.Trace, Enqueued: io.Created}
 		a.dev.Submit(&io.req)
 	}
 }

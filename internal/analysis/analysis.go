@@ -99,7 +99,7 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 
 // All returns the registered analyzers in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoWallTime, NoRand, MapOrder, NoGoroutine}
+	return []*Analyzer{NoWallTime, NoRand, MapOrder, NoGoroutine, TraceTime}
 }
 
 // ByName returns the registered analyzer with the given name.

@@ -79,6 +79,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"maporder.go", "internal/core"},
 		{"goroutine.go", "internal/engine/betree"},
 		{"suppress.go", "internal/core"},
+		{"tracetime.go", "internal/trace"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -110,6 +111,7 @@ func TestAllowlistBoundaries(t *testing.T) {
 		{"goroutine.go", "cmd/kvell-bench", 0},
 		{"goroutine.go", "internal/simulator", 3}, // exact match only
 		{"randfix.go", "cmd/kvell-bench", 4},      // norand applies everywhere
+		{"tracetime.go", "internal/core", 0},      // import rule scoped to internal/trace
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture+"@"+tc.rel, func(t *testing.T) {

@@ -1,0 +1,15 @@
+// Fixture for the tracetime analyzer: internal/trace must not import the
+// time package at all — span timestamps are virtual (env.Time), and even
+// Duration arithmetic would invite wall-clock quantities into digested
+// artifacts. Renamed imports are imports too.
+package fixture
+
+import (
+	"time" // want tracetime
+
+	wall "time" // want tracetime
+)
+
+var tick = time.Duration(1) // the import is the finding, not the use
+
+var epoch = wall.Unix(0, 0)

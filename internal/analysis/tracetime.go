@@ -1,0 +1,30 @@
+package analysis
+
+import "strconv"
+
+// TraceTime forbids internal/trace from importing package time at all.
+// nowalltime already bans the wall-clock *calls* everywhere; the trace
+// package gets the stricter import-level rule because every value it records
+// must be virtual time (env.Time from the sim clock) — even an innocuous
+// time.Duration conversion in an exporter would invite wall-clock quantities
+// into trace artifacts that are compared across runs by digest.
+var TraceTime = &Analyzer{
+	Name: "tracetime",
+	Doc:  "forbid internal/trace from importing package time: spans carry virtual env.Time only",
+	Run: func(pass *Pass) {
+		if pass.Pkg.Rel != "internal/trace" {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || path != "time" {
+					continue
+				}
+				pass.Reportf(imp.Pos(),
+					"stamp spans with env.Time from the simulated clock; format durations with stats.FmtDur",
+					"internal/trace imports %q: trace timestamps must be virtual", path)
+			}
+		}
+	},
+}

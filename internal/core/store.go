@@ -13,6 +13,7 @@ import (
 	"kvell/internal/kv"
 	"kvell/internal/pagecache"
 	"kvell/internal/slab"
+	"kvell/internal/trace"
 )
 
 // Store is a KVell key-value store.
@@ -127,6 +128,7 @@ func (s *Store) Submit(c env.Ctx, r *kv.Request) {
 		return
 	}
 	c.CPU(costs.Callback) // route + enqueue
+	r.Trace.MarkQueue(c.Now())
 	s.workerFor(r.Key).q.Push(c, r)
 }
 
@@ -204,11 +206,15 @@ func (s *Store) fetch(c env.Ctx, cands []candidate) []kv.Item {
 		j.items[i].Key = cd.key
 		cd.w.q.Push(c, &locReq{key: cd.key, l: cd.l, join: j, idx: i})
 	}
+	t0 := c.Now()
 	j.mu.Lock(c)
 	for j.remaining > 0 {
 		j.cond.Wait(c)
 	}
 	j.mu.Unlock(c)
+	// The scanning thread blocks here while workers serve the
+	// location-direct reads (§5.5).
+	trace.FromCtx(c).Add(trace.CompStall, t0, c.Now())
 	// Drop candidates whose item vanished between index snapshot and read.
 	out := j.items[:0]
 	for _, it := range j.items {

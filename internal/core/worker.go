@@ -12,6 +12,7 @@ import (
 	"kvell/internal/kv"
 	"kvell/internal/pagecache"
 	"kvell/internal/slab"
+	"kvell/internal/trace"
 )
 
 // ioCont is the continuation attached to an asynchronous I/O; it runs in
@@ -29,6 +30,16 @@ type locReq struct {
 	idx  int
 }
 
+// prJoiner is one operation waiting on a pending page read, with the trace
+// context it should run under (each joiner belongs to a different request)
+// and the time it joined, so late joiners can book the shared read's
+// remaining latency as device-queue wait.
+type prJoiner struct {
+	fn     func(c env.Ctx, data []byte, out *[]*aio.IO)
+	tc     *trace.Ctx
+	joinAt env.Time
+}
+
 // pendingRead deduplicates concurrent reads of the same page: operations
 // arriving while a read is in flight join it instead of re-reading.
 // pendingRead records are pooled by the worker; cont is wired once so a
@@ -36,20 +47,34 @@ type locReq struct {
 type pendingRead struct {
 	w       *worker
 	page    int64
-	joiners []func(c env.Ctx, data []byte, out *[]*aio.IO)
+	joiners []prJoiner
 	cont    ioCont
 }
 
 // complete runs when the page read finishes: it publishes the page to the
-// cache, fans the data out to all joiners, and recycles the record.
+// cache, fans the data out to all joiners, and recycles the record. Each
+// joiner runs under its own request's trace context; joiner 0 issued the
+// I/O and already owns its device spans, later joiners book the time they
+// spent waiting on the shared read.
 func (pr *pendingRead) complete(c env.Ctx, io *aio.IO, out *[]*aio.IO) {
 	w := pr.w
 	delete(w.pendingReads, pr.page)
 	w.cacheInsert(c, pr.page, io.Buf)
-	for i, j := range pr.joiners {
-		pr.joiners[i] = nil
-		j(c, io.Buf, out)
+	now := c.Now()
+	for i := range pr.joiners {
+		j := pr.joiners[i]
+		pr.joiners[i] = prJoiner{}
+		if j.tc != nil {
+			if i > 0 {
+				j.tc.Add(trace.CompDevQueue, j.joinAt, now)
+			}
+			c.SetTrace(j.tc)
+		} else {
+			c.SetTrace(nil)
+		}
+		j.fn(c, io.Buf, out)
 	}
+	c.SetTrace(nil)
 	pr.joiners = pr.joiners[:0]
 	w.prFree = append(w.prFree, pr)
 }
@@ -150,18 +175,28 @@ func (w *worker) getPR(page int64) *pendingRead {
 	return pr
 }
 
-func (w *worker) getIO() *aio.IO {
+// getIO returns a pooled I/O, stamped with the calling request's trace
+// context (and creation time, so batch wait counts as device-queue time).
+func (w *worker) getIO(c env.Ctx) *aio.IO {
+	var io *aio.IO
 	if n := len(w.ioFree); n > 0 {
-		io := w.ioFree[n-1]
+		io = w.ioFree[n-1]
 		w.ioFree = w.ioFree[:n-1]
-		return io
+	} else {
+		io = &aio.IO{}
 	}
-	return &aio.IO{}
+	if tc := trace.FromCtx(c); tc != nil {
+		io.Trace = tc
+		io.Created = c.Now()
+	}
+	return io
 }
 
 func (w *worker) putIO(io *aio.IO) {
 	io.Buf = nil
 	io.Tag = nil
+	io.Trace = nil
+	io.Created = 0
 	w.ioFree = append(w.ioFree, io)
 }
 
@@ -194,7 +229,17 @@ func (w *worker) run(c env.Ctx) {
 			w.reqs++
 			switch t := r.(type) {
 			case *kv.Request:
-				state.start(c, t, &out)
+				// Capture the trace context before start: Done may finish
+				// (and recycle) it. The worker's ambient context is cleared
+				// after each item so parks never carry a stale one.
+				if tc := t.Trace; tc != nil {
+					tc.EndQueue(c.Now())
+					c.SetTrace(tc)
+					state.start(c, t, &out)
+					c.SetTrace(nil)
+				} else {
+					state.start(c, t, &out)
+				}
 			case *locReq:
 				state.startLoc(c, t, &out)
 			}
@@ -209,7 +254,16 @@ func (w *worker) run(c env.Ctx) {
 			out = out[:0]
 			w.lockShared(c)
 			for _, io := range evs {
-				io.Tag.(ioCont)(c, io, &out)
+				cont := io.Tag.(ioCont)
+				if tc := io.Trace; tc != nil {
+					// Dwell between device completion and this pickup.
+					tc.Add(trace.CompQueue, io.Completed(), c.Now())
+					c.SetTrace(tc)
+					cont(c, io, &out)
+					c.SetTrace(nil)
+				} else {
+					cont(c, io, &out)
+				}
 				state.putIO(io)
 			}
 			w.aio.Submit(c, out)
@@ -236,10 +290,12 @@ func (w *worker) unlockShared(c env.Ctx) {
 
 // lookup consults the in-memory index, charging the descent cost.
 func (w *worker) lookup(c env.Ctx, key []byte) (location, bool) {
+	t0 := c.Now()
 	c.CPU(env.Time(w.idx.Depth()) * costs.BTreeNode)
 	w.idxMu.Lock(c)
 	v, ok := w.idx.Get(key)
 	w.idxMu.Unlock(c)
+	trace.FromCtx(c).Span("index", t0, c.Now())
 	return location(v), ok
 }
 
@@ -316,13 +372,13 @@ func (w *worker) respond(c env.Ctx, r *kv.Request, res kv.Result) {
 // (which is also inserted into the page cache) to fn.
 func (w *worker) readPage(c env.Ctx, page int64, fn func(c env.Ctx, data []byte, out *[]*aio.IO), out *[]*aio.IO) {
 	if pr, ok := w.pendingReads[page]; ok {
-		pr.joiners = append(pr.joiners, fn)
+		pr.joiners = append(pr.joiners, prJoiner{fn: fn, tc: trace.FromCtx(c), joinAt: c.Now()})
 		return
 	}
 	pr := w.getPR(page)
-	pr.joiners = append(pr.joiners, fn)
+	pr.joiners = append(pr.joiners, prJoiner{fn: fn, tc: trace.FromCtx(c)})
 	w.pendingReads[page] = pr
-	io := w.getIO()
+	io := w.getIO(c)
 	io.Op = device.Read
 	io.Page = page
 	io.Buf = w.pageBuf()
@@ -345,8 +401,8 @@ func (w *worker) cacheRemove(page int64) {
 }
 
 // writePage submits a page write; done (optional) runs when durable.
-func (w *worker) writePage(page int64, data []byte, done func(c env.Ctx, out *[]*aio.IO), out *[]*aio.IO) {
-	io := w.getIO()
+func (w *worker) writePage(c env.Ctx, page int64, data []byte, done func(c env.Ctx, out *[]*aio.IO), out *[]*aio.IO) {
+	io := w.getIO(c)
 	io.Op = device.Write
 	io.Page = page
 	io.Buf = data
@@ -371,12 +427,12 @@ func (w *worker) applyToPage(c env.Ctx, page int64, apply func(c env.Ctx, data [
 	c.CPU(w.cache.LookupCost())
 	if data := w.cache.Get(page); data != nil {
 		apply(c, data)
-		w.writePage(page, data, done, out)
+		w.writePage(c, page, data, done, out)
 		return
 	}
 	w.readPage(c, page, func(c env.Ctx, data []byte, out *[]*aio.IO) {
 		apply(c, data)
-		w.writePage(page, data, done, out)
+		w.writePage(c, page, data, done, out)
 	}, out)
 }
 
@@ -447,7 +503,7 @@ func (w *worker) doGetKey(c env.Ctx, expect []byte, l location, fn func(c env.Ct
 		// it) and are read in one large request. The buffer is not pooled,
 		// so the delivered value may alias it.
 		buf := make([]byte, sl.PagesPerSlot()*device.PageSize)
-		io := w.getIO()
+		io := w.getIO(c)
 		io.Op = device.Read
 		io.Page = sl.SlotPage(slot)
 		io.Buf = buf
@@ -530,7 +586,7 @@ func (w *worker) doUpdate(c env.Ctx, key, value []byte, done func(c env.Ctx, out
 			panic(err)
 		}
 		writeSlot := func(c env.Ctx, out *[]*aio.IO) {
-			w.writePage(newSl.SlotPage(slot), buf, finish, out)
+			w.writePage(c, newSl.SlotPage(slot), buf, finish, out)
 		}
 		if reused {
 			// Recover the free-list chain from the old tombstone before
@@ -567,7 +623,7 @@ func (w *worker) doUpdate(c env.Ctx, key, value []byte, done func(c env.Ctx, out
 		}
 		w.cache.Pin(page)
 		w.tailPage[cls] = page
-		w.writePage(page, data, finish, out)
+		w.writePage(c, page, data, finish, out)
 		return
 	}
 	w.applyToPage(c, page, apply, finish, out)
@@ -613,7 +669,7 @@ func (w *worker) writeTombstone(c env.Ctx, l location, ts uint64, out *[]*aio.IO
 		data := w.zeroPageBuf()
 		sl.EncodeTombstone(data, ts, chainTo)
 		w.cacheRemove(sl.SlotPage(slot))
-		w.writePage(sl.SlotPage(slot), data, nil, out)
+		w.writePage(c, sl.SlotPage(slot), data, nil, out)
 		w.retireBuf(data)
 		return
 	}
@@ -643,7 +699,7 @@ func (w *worker) doDelete(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
 		data := w.zeroPageBuf()
 		sl.EncodeTombstone(data, ts, chainTo)
 		w.cacheRemove(sl.SlotPage(slot))
-		w.writePage(sl.SlotPage(slot), data, done, out)
+		w.writePage(c, sl.SlotPage(slot), data, done, out)
 		w.retireBuf(data)
 		return
 	}
@@ -668,7 +724,7 @@ func (w *worker) withCommitLog(c env.Ctx, recBytes int, done func(c env.Ctx, out
 	w.logCursor++
 	// One-shot log page image, recyclable once the batch submits.
 	buf := w.zeroPageBuf()
-	w.writePage(page, buf, wrapped, out)
+	w.writePage(c, page, buf, wrapped, out)
 	w.retireBuf(buf)
 	return wrapped
 }

@@ -7,6 +7,7 @@ import (
 	"kvell/internal/env"
 	"kvell/internal/sim"
 	"kvell/internal/stats"
+	"kvell/internal/trace"
 )
 
 // Op is an I/O operation type.
@@ -30,6 +31,17 @@ type Request struct {
 	Done func()
 	// Submitted is stamped by the disk for latency accounting.
 	Submitted env.Time
+	// Trace, if set, attributes the device queue wait and service time to a
+	// request's trace context (simulated disk only).
+	Trace *trace.Ctx
+	// Enqueued, if set, backdates the queue wait to when the request entered
+	// a software batch (KVell's aio batching); zero means it arrived at
+	// Submit time.
+	Enqueued env.Time
+	// Completed is stamped by the simulated disk with the predicted service
+	// completion time, so async callers can attribute the dwell between
+	// device completion and completion-queue pickup.
+	Completed env.Time
 }
 
 // Disk is an asynchronous page-granular block device.
@@ -97,6 +109,8 @@ type SimDisk struct {
 	BWTimeline *stats.Timeline // bytes completed per bucket
 	IOTimeline *stats.Timeline // ops completed per bucket
 	Util       *stats.Util     // channel busy intervals
+	Tracer     *trace.Tracer   // span tracing (spikes, per-channel service)
+	ID         int             // disk index, used to label trace tracks
 }
 
 // NewSimDisk returns a simulated disk with the given profile and backing
@@ -162,6 +176,7 @@ func (d *SimDisk) maybeSpike(now env.Time) {
 		dur += env.Time(d.s.Rand().Int63n(int64(max - min + 1)))
 	}
 	d.station.Pause(now + dur)
+	d.Tracer.AddBg("devspike", now, now+dur)
 	d.nextSpike = d.spikeInterval()
 }
 
@@ -228,6 +243,15 @@ func (d *SimDisk) Submit(r *Request) {
 	}
 
 	done := d.station.Assign(now, svc)
+	r.Completed = done
+	if r.Trace != nil {
+		q0 := r.Enqueued
+		if q0 <= 0 || q0 > now {
+			q0 = now
+		}
+		server, start := d.station.LastAssign()
+		r.Trace.AddDev(d.ID, server, q0, start, done)
+	}
 	cp := d.getCompl()
 	// The request's fields are copied into the record at submission: the
 	// caller may recycle the Request struct once Done has run, and write

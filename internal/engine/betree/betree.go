@@ -20,6 +20,7 @@ import (
 	"kvell/internal/costs"
 	"kvell/internal/device"
 	"kvell/internal/env"
+	"kvell/internal/trace"
 )
 
 // Config describes a betree engine.
@@ -47,6 +48,9 @@ type Config struct {
 	// the store from the log after a crash. Off by default — it changes I/O
 	// timing, and the simulator's schedule goldens are recorded without it.
 	Durable bool
+	// Tracer, if set, receives background maintenance spans (eviction,
+	// checkpoints, buffer cascades). Purely observational.
+	Tracer *trace.Tracer
 }
 
 // logRegionPages is the page count reserved for the commit log before the
@@ -331,7 +335,8 @@ func (d *DB) readSync(c env.Ctx, page int64, buf []byte) {
 	// Buffered pread path (§6.3.1): syscall plus per-byte copy/checksum.
 	c.CPU(costs.Syscall + costs.PreadBytes(len(buf)))
 	w := d.getWaiter()
-	w.req = device.Request{Op: device.Read, Page: page, Buf: buf, Done: w.doneFn}
+	w.req = device.Request{Op: device.Read, Page: page, Buf: buf, Done: w.doneFn,
+		Trace: trace.FromCtx(c)}
 	d.disk.Submit(&w.req)
 	w.wait(c)
 	d.putWaiter(w)
@@ -340,7 +345,8 @@ func (d *DB) readSync(c env.Ctx, page int64, buf []byte) {
 func (d *DB) writeSync(c env.Ctx, page int64, buf []byte) {
 	c.CPU(costs.Syscall + costs.PwriteBytes(len(buf)))
 	w := d.getWaiter()
-	w.req = device.Request{Op: device.Write, Page: page, Buf: buf, Done: w.doneFn}
+	w.req = device.Request{Op: device.Write, Page: page, Buf: buf, Done: w.doneFn,
+		Trace: trace.FromCtx(c)}
 	d.disk.Submit(&w.req)
 	w.wait(c)
 	d.putWaiter(w)

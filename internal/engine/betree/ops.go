@@ -9,6 +9,7 @@ import (
 	"kvell/internal/env"
 	"kvell/internal/kv"
 	"kvell/internal/slab"
+	"kvell/internal/trace"
 	"kvell/internal/walog"
 )
 
@@ -38,11 +39,13 @@ func (d *DB) Submit(c env.Ctx, r *kv.Request) {
 // logRecord routes a mutation through the commit log: the timing-only
 // buffered model by default, a real flushed WAL record in durable mode.
 func (d *DB) logRecord(c env.Ctx, op byte, key, value []byte) {
+	t0 := c.Now()
 	if d.cfg.Durable {
 		d.logAppendDurable(c, op, key, value)
-		return
+	} else {
+		d.logAppend(c, entryBytes(len(key), len(value)))
 	}
-	d.logAppend(c, entryBytes(len(key), len(value)))
+	trace.FromCtx(c).Span("wal", t0, c.Now())
 }
 
 // logAppendDurable writes one checksummed walog chunk carrying the record
@@ -143,6 +146,7 @@ func (d *DB) maybeStall(c env.Ctx) {
 		t0 := c.Now()
 		d.stallCond.Wait(c)
 		d.stats.StallTime += c.Now() - t0
+		trace.FromCtx(c).Add(trace.CompStall, t0, c.Now())
 	}
 	d.stallMu.Unlock(c)
 }
@@ -175,6 +179,8 @@ func (d *DB) evictLoop(c env.Ctx) {
 			d.treeMu.Unlock(c)
 			continue
 		}
+		bc := d.cfg.Tracer.BeginBg("evict", c.Now())
+		c.SetTrace(bc)
 		c.CPU(costs.PageReconcile)
 		scratch = serializeLeafInto(victim, scratch)
 		buf := scratch
@@ -183,14 +189,21 @@ func (d *DB) evictLoop(c env.Ctx) {
 		d.dirtyB -= int64(victim.bytes)
 		d.treeMu.Unlock(c)
 		d.writeSync(c, page, buf)
+		c.SetTrace(nil)
+		d.cfg.Tracer.FinishBg(bc, c.Now())
 		d.stats.EvictedLeaves++
 		d.stallCond.Broadcast(c)
 	}
 }
 
 // flushRoot partitions the root buffer into the group buffers (treeMu
-// held). Groups that overflow cascade into their leaves.
+// held). Groups that overflow cascade into their leaves. The cascade runs
+// on the writing client's thread, so the maintenance span is overlaid via
+// AddBg without switching the proc's trace context — the victim request
+// keeps accumulating its own lock/CPU/device components.
 func (d *DB) flushRoot(c env.Ctx) {
+	t0 := c.Now()
+	defer func() { d.cfg.Tracer.AddBg("root-flush", t0, c.Now()) }()
 	d.stats.RootFlushes++
 	moved := 0
 	var overflow []*group
@@ -691,9 +704,13 @@ func (d *DB) checkpointLoop(c env.Ctx) {
 	var jobs []job
 	for {
 		c.Sleep(d.cfg.CheckpointEvery)
+		bc := d.cfg.Tracer.BeginBg("checkpoint", c.Now())
+		c.SetTrace(bc)
 		d.treeMu.Lock(c)
 		if d.closing {
 			d.treeMu.Unlock(c)
+			c.SetTrace(nil)
+			d.cfg.Tracer.FinishBg(bc, c.Now())
 			return
 		}
 		// Collect dirty leaves, then write them without the tree lock.
@@ -716,6 +733,8 @@ func (d *DB) checkpointLoop(c env.Ctx) {
 			jobs[i] = job{} // drop leaf/image references
 		}
 		arena.Reset() // every image has been written out
+		c.SetTrace(nil)
+		d.cfg.Tracer.FinishBg(bc, c.Now())
 		d.stallCond.Broadcast(c)
 	}
 }

@@ -28,6 +28,9 @@ func (d *DB) flushLoop(c env.Ctx) {
 		imm := d.imm
 		d.writeMu.Unlock(c)
 
+		bc := d.cfg.Tracer.BeginBg("flush", c.Now())
+		c.SetTrace(bc)
+
 		d.verMu.Lock(c)
 		disk := d.nextDisk()
 		d.verMu.Unlock(c)
@@ -51,6 +54,9 @@ func (d *DB) flushLoop(c env.Ctx) {
 		d.stats.Flushes++
 		d.writeMu.Unlock(c)
 		d.writeCond.Broadcast(c) // wake writers stalled on the flush
+
+		c.SetTrace(nil)
+		d.cfg.Tracer.FinishBg(bc, c.Now())
 	}
 }
 
@@ -240,6 +246,8 @@ func (d *DB) compactionSource(c env.Ctx, t *sstable, arena *slab.Arena) *scanSou
 // level+1 (§3.1: the CPU- and I/O-intensive maintenance operation that
 // LSM designs require and KVell eliminates).
 func (d *DB) runCompaction(c env.Ctx, job *compaction, arena *slab.Arena) {
+	bc := d.cfg.Tracer.BeginBg("compaction", c.Now())
+	c.SetTrace(bc)
 	toLevel := job.level + 1
 	// Tombstones may be dropped only at the bottommost level, where every
 	// overlapping table participates in the merge.
@@ -353,4 +361,7 @@ func (d *DB) runCompaction(c env.Ctx, job *compaction, arena *slab.Arena) {
 	d.verMu.Unlock(c)
 	d.verCond.Broadcast(c)   // more compaction may be needed
 	d.writeCond.Broadcast(c) // L0 stalls may clear
+
+	c.SetTrace(nil)
+	d.cfg.Tracer.FinishBg(bc, c.Now())
 }

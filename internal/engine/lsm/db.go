@@ -10,6 +10,7 @@ import (
 	"kvell/internal/env"
 	"kvell/internal/kv"
 	"kvell/internal/pagecache"
+	"kvell/internal/trace"
 )
 
 // Config describes an LSM engine instance. Defaults mirror the paper's
@@ -44,6 +45,9 @@ type Config struct {
 	// whole store on a fresh DB. Off by default — it changes I/O timing,
 	// and the simulator's schedule goldens are recorded without it.
 	Durable bool
+	// Tracer, if set, receives background maintenance spans (flushes,
+	// compactions). Purely observational.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig returns a configuration scaled for datasets in the
@@ -250,7 +254,7 @@ func (d *DB) readPagesSync(c env.Ctx, disk device.Disk, page int64, buf []byte) 
 	// copy + checksum per byte).
 	c.CPU(costs.Syscall + costs.PreadBytes(len(buf)))
 	w := d.getIOWaiter()
-	w.req = device.Request{Op: device.Read, Page: page, Buf: buf, Done: w.doneFn}
+	w.req = device.Request{Op: device.Read, Page: page, Buf: buf, Done: w.doneFn, Trace: trace.FromCtx(c)}
 	disk.Submit(&w.req)
 	w.mu.Lock(c)
 	for !w.done {
@@ -264,7 +268,7 @@ func (d *DB) readPagesSync(c env.Ctx, disk device.Disk, page int64, buf []byte) 
 func (d *DB) writePagesTimed(c env.Ctx, disk device.Disk, page int64, data []byte) {
 	c.CPU(costs.Syscall + costs.PwriteBytes(len(data)))
 	w := d.getIOWaiter()
-	w.req = device.Request{Op: device.Write, Page: page, Buf: data, Done: w.doneFn}
+	w.req = device.Request{Op: device.Write, Page: page, Buf: data, Done: w.doneFn, Trace: trace.FromCtx(c)}
 	disk.Submit(&w.req)
 	w.mu.Lock(c)
 	for !w.done {
@@ -384,7 +388,9 @@ func (d *DB) write(c env.Ctx, key, value []byte, tombstone bool) {
 	// a chunk while holding the write lock — the log bottleneck §3.1
 	// describes). See wal.go; ReplayWAL rebuilds state from this log.
 	d.seq++
+	t0 := c.Now()
 	d.walAppend(c, key, value, tombstone)
+	trace.FromCtx(c).Span("wal", t0, c.Now())
 
 	// Memtable insert.
 	rec := int64(entryHeader + len(key) + len(value))
@@ -411,9 +417,11 @@ func (d *DB) write(c env.Ctx, key, value []byte, tombstone bool) {
 	// L0 pressure: first a slowdown band (RocksDB's delayed write rate),
 	// then a hard stall (§3.2).
 	if n := d.l0Count(); n >= d.cfg.L0SlowdownTrigger && n < d.cfg.L0StallTrigger {
+		ts := c.Now()
 		d.writeMu.Unlock(c)
 		c.Sleep(env.Millisecond)
 		d.writeMu.Lock(c)
+		trace.FromCtx(c).Add(trace.CompStall, ts, c.Now())
 	}
 	for d.l0Count() >= d.cfg.L0StallTrigger {
 		d.stall(c)
@@ -427,6 +435,7 @@ func (d *DB) stall(c env.Ctx) {
 	t0 := c.Now()
 	d.writeCond.Wait(c)
 	d.stats.StallTime += c.Now() - t0
+	trace.FromCtx(c).Add(trace.CompStall, t0, c.Now())
 }
 
 func (d *DB) l0Count() int {

@@ -8,6 +8,7 @@ import (
 	"kvell/internal/device"
 	"kvell/internal/env"
 	"kvell/internal/kv"
+	"kvell/internal/trace"
 	"kvell/internal/walog"
 )
 
@@ -38,11 +39,13 @@ func (d *DB) Submit(c env.Ctx, r *kv.Request) {
 // logRecord routes a mutation through the commit log: the timing-only slot
 // model by default, a real flushed WAL record in durable mode.
 func (d *DB) logRecord(c env.Ctx, op byte, key, value []byte) {
+	t0 := c.Now()
 	if d.cfg.Durable {
 		d.logAppendDurable(c, op, key, value)
-		return
+	} else {
+		d.logAppend(c, entryBytes(len(key), len(value)))
 	}
-	d.logAppend(c, entryBytes(len(key), len(value)))
+	trace.FromCtx(c).Span("wal", t0, c.Now())
 }
 
 // logAppendDurable writes one checksummed walog chunk carrying the record
@@ -171,6 +174,7 @@ func (d *DB) Put(c env.Ctx, key, value []byte) {
 		t0 := c.Now()
 		d.cond.Wait(c)
 		d.stats.StallTime += c.Now() - t0
+		trace.FromCtx(c).Add(trace.CompStall, t0, c.Now())
 	}
 	d.mu.Unlock(c)
 }
@@ -487,7 +491,11 @@ func (d *DB) evictLoop(c env.Ctx) {
 			d.mu.Unlock(c)
 			continue
 		}
+		bc := d.cfg.Tracer.BeginBg("evict", c.Now())
+		c.SetTrace(bc)
 		d.writeLeaf(c, victim, true, &scratch)
+		c.SetTrace(nil)
+		d.cfg.Tracer.FinishBg(bc, c.Now())
 		d.mu.Unlock(c)
 		d.cond.Broadcast(c)
 	}
@@ -525,6 +533,8 @@ func (d *DB) checkpointLoop(c env.Ctx) {
 			d.mu.Unlock(c)
 			return
 		}
+		bc := d.cfg.Tracer.BeginBg("checkpoint", c.Now())
+		c.SetTrace(bc)
 		for {
 			var victim *leaf
 			for _, l := range d.lru {
@@ -542,6 +552,8 @@ func (d *DB) checkpointLoop(c env.Ctx) {
 				break
 			}
 		}
+		c.SetTrace(nil)
+		d.cfg.Tracer.FinishBg(bc, c.Now())
 		d.mu.Unlock(c)
 		d.cond.Broadcast(c)
 	}

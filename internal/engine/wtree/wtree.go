@@ -17,6 +17,7 @@ import (
 	"kvell/internal/costs"
 	"kvell/internal/device"
 	"kvell/internal/env"
+	"kvell/internal/trace"
 )
 
 // Config describes a wtree engine.
@@ -43,6 +44,9 @@ type Config struct {
 	// store from the log after a crash. Off by default — it changes I/O
 	// timing, and the simulator's schedule goldens are recorded without it.
 	Durable bool
+	// Tracer, if set, receives background maintenance spans (eviction,
+	// checkpoints). Purely observational.
+	Tracer *trace.Tracer
 }
 
 // logRegionPages is the page count reserved for the commit log before the
@@ -375,7 +379,7 @@ func (d *DB) readSync(c env.Ctx, page int64, buf []byte) {
 	// Buffered pread path (§6.3.1): syscall plus per-byte copy/checksum.
 	c.CPU(costs.Syscall + costs.PreadBytes(len(buf)))
 	w := d.getWaiter()
-	w.req = device.Request{Op: device.Read, Page: page, Buf: buf, Done: w.doneFn}
+	w.req = device.Request{Op: device.Read, Page: page, Buf: buf, Done: w.doneFn, Trace: trace.FromCtx(c)}
 	d.disk.Submit(&w.req)
 	w.wait(c)
 	d.putWaiter(w)
@@ -384,7 +388,7 @@ func (d *DB) readSync(c env.Ctx, page int64, buf []byte) {
 func (d *DB) writeSync(c env.Ctx, page int64, buf []byte) {
 	c.CPU(costs.Syscall + costs.PwriteBytes(len(buf)))
 	w := d.getWaiter()
-	w.req = device.Request{Op: device.Write, Page: page, Buf: buf, Done: w.doneFn}
+	w.req = device.Request{Op: device.Write, Page: page, Buf: buf, Done: w.doneFn, Trace: trace.FromCtx(c)}
 	d.disk.Submit(&w.req)
 	w.wait(c)
 	d.putWaiter(w)

@@ -40,6 +40,14 @@ type Ctx interface {
 	CPU(d Time)
 	// Sleep suspends the thread for d nanoseconds.
 	Sleep(d Time)
+	// SetTrace attaches an observability context to the thread (a
+	// *trace.Ctx; typed any to keep this package dependency-free). The
+	// simulator's instrumentation hooks read it to attribute CPU bursts and
+	// lock waits to the request the thread is currently serving. Purely
+	// observational: it never affects scheduling.
+	SetTrace(v any)
+	// Trace returns the context set by SetTrace, or nil.
+	Trace() any
 }
 
 // Env creates threads and synchronization objects.

@@ -50,11 +50,16 @@ func (e *RealEnv) NewQueue() Queue {
 	return q
 }
 
-type realCtx struct{ e *RealEnv }
+type realCtx struct {
+	e     *RealEnv
+	trace any
+}
 
-func (c *realCtx) Now() Time    { return c.e.Now() }
-func (c *realCtx) CPU(d Time)   {}
-func (c *realCtx) Sleep(d Time) { time.Sleep(time.Duration(d)) }
+func (c *realCtx) Now() Time      { return c.e.Now() }
+func (c *realCtx) CPU(d Time)     {}
+func (c *realCtx) Sleep(d Time)   { time.Sleep(time.Duration(d)) }
+func (c *realCtx) SetTrace(v any) { c.trace = v }
+func (c *realCtx) Trace() any     { return c.trace }
 
 type realMutex struct{ mu sync.Mutex }
 

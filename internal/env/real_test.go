@@ -101,3 +101,5 @@ type fakeCtx struct{}
 func (fakeCtx) Now() Time    { return 0 }
 func (fakeCtx) CPU(Time)     {}
 func (fakeCtx) Sleep(d Time) { time.Sleep(time.Duration(d)) }
+func (fakeCtx) SetTrace(any) {}
+func (fakeCtx) Trace() any   { return nil }

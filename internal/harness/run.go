@@ -18,6 +18,7 @@ import (
 	"kvell/internal/kv"
 	"kvell/internal/sim"
 	"kvell/internal/stats"
+	"kvell/internal/trace"
 )
 
 // EngineKind selects which system to benchmark.
@@ -99,6 +100,11 @@ type Spec struct {
 	TweakLSM   func(*lsm.Config)
 	TweakWT    func(*wtree.Config)
 	TweakBE    func(*betree.Config)
+
+	// Tracer, if set, records per-request latency attribution and
+	// virtual-time spans for the run. Purely observational: the simulated
+	// schedule is bit-identical with or without it.
+	Tracer *trace.Tracer
 }
 
 // Result holds one run's measurements.
@@ -196,6 +202,7 @@ func buildEngine(e *sim.Env, s *Spec, disks []device.Disk) kv.Engine {
 		cfg.BaseLevelBytes = cfg.MemtableBytes * 2
 		cfg.TableTargetBytes = cfg.MemtableBytes / 2
 		cfg.CompactionThreads = 3
+		cfg.Tracer = s.Tracer
 		if s.TweakLSM != nil {
 			s.TweakLSM(&cfg)
 		}
@@ -203,6 +210,7 @@ func buildEngine(e *sim.Env, s *Spec, disks []device.Disk) kv.Engine {
 	case WiredTigerLike:
 		cfg := wtree.DefaultConfig(disks...)
 		cfg.CacheBytes = cache
+		cfg.Tracer = s.Tracer
 		if s.TweakWT != nil {
 			s.TweakWT(&cfg)
 		}
@@ -210,6 +218,7 @@ func buildEngine(e *sim.Env, s *Spec, disks []device.Disk) kv.Engine {
 	case TokuLike:
 		cfg := betree.DefaultConfig(disks...)
 		cfg.CacheBytes = cache
+		cfg.Tracer = s.Tracer
 		if s.TweakBE != nil {
 			s.TweakBE(&cfg)
 		}
@@ -224,6 +233,16 @@ func Run(spec Spec) Result {
 	spec.defaults()
 	s := sim.New(spec.Seed + 1)
 	e := sim.NewEnv(s, spec.Cores)
+
+	tr := spec.Tracer
+	if tr != nil {
+		if tr.OpNames == nil {
+			for op := kv.OpGet; op <= kv.OpRMW; op++ {
+				tr.OpNames = append(tr.OpNames, op.String())
+			}
+		}
+		trace.Attach(tr, e)
+	}
 
 	res := Result{
 		Spec:     spec,
@@ -245,6 +264,8 @@ func Run(spec Spec) Result {
 		dd := device.NewSimDisk(s, spec.Profile, store)
 		dd.BWTimeline = res.DiskBW
 		dd.Util = res.DiskUtil
+		dd.Tracer = tr
+		dd.ID = i
 		disks = append(disks, dd)
 		res.Disks = append(res.Disks, dd)
 	}
@@ -279,6 +300,10 @@ func Run(spec Spec) Result {
 					r := &kv.Request{}
 					r.Done = func(kv.Result) {
 						t := s.Now()
+						if r.Trace != nil {
+							tr.Finish(r.Trace, t)
+							r.Trace = nil
+						}
 						if t >= spec.Warmup && t < end {
 							res.Ops++
 							res.Lat.Add(t - r.Start)
@@ -311,6 +336,10 @@ func Run(spec Spec) Result {
 					r = gen.Next()
 					r.Done = func(kv.Result) {
 						t := s.Now()
+						if r.Trace != nil {
+							tr.Finish(r.Trace, t)
+							r.Trace = nil
+						}
 						if t >= spec.Warmup && t < end {
 							res.Ops++
 							res.Lat.Add(t - r.Start)
@@ -323,7 +352,17 @@ func Run(spec Spec) Result {
 					}
 				}
 				r.Start = c.Now()
-				eng.Submit(c, r)
+				if tr != nil {
+					// Library engines run the whole op inside Submit on this
+					// proc; async engines (KVell) carry r.Trace across the
+					// worker handoff and only the routing CPU lands here.
+					r.Trace = tr.Begin(int(r.Op), r.Start)
+					c.SetTrace(r.Trace)
+					eng.Submit(c, r)
+					c.SetTrace(nil)
+				} else {
+					eng.Submit(c, r)
+				}
 			}
 			mu.Lock(c)
 			for outstanding > 0 {

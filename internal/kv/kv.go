@@ -6,6 +6,7 @@ package kv
 
 import (
 	"kvell/internal/env"
+	"kvell/internal/trace"
 )
 
 // OpType identifies a client operation.
@@ -58,6 +59,10 @@ type Request struct {
 	Done      func(Result)
 	// Start is stamped by the issuer for latency accounting.
 	Start env.Time
+	// Trace, if set, is the request's observability context. Async engines
+	// (KVell) carry it across the worker handoff; the issuer's Done wrapper
+	// finishes it.
+	Trace *trace.Ctx
 	// ValueBuf is caller-owned scratch an engine may use to back
 	// Result.Value for reads, growing it as needed. When set by a pooled
 	// request it lets the read path reuse one buffer across operations;

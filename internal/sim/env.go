@@ -7,6 +7,10 @@ import "kvell/internal/env"
 type Env struct {
 	S    *Sim
 	CPUs *Pool
+	// OnMutexWait, if set when a mutex is created, is called after each
+	// contended Lock on that mutex with the wait interval. Purely
+	// observational (tracing); wire it before the engine is built.
+	OnMutexWait func(p *Proc, start, end env.Time)
 }
 
 // NewEnv returns an env.Env backed by simulation s with cores CPU cores.
@@ -23,7 +27,11 @@ func (e *Env) Go(name string, fn func(env.Ctx)) {
 }
 
 // NewMutex implements env.Env.
-func (e *Env) NewMutex() env.Mutex { return &simMutex{m: NewMutex(e.S)} }
+func (e *Env) NewMutex() env.Mutex {
+	m := NewMutex(e.S)
+	m.onWait = e.OnMutexWait
+	return &simMutex{m: m}
+}
 
 // NewSpinMutex implements env.Env: waiters burn CPU against the core pool.
 func (e *Env) NewSpinMutex() env.Mutex { return &simSpinMutex{m: NewSpinMutex(e.S, e.CPUs)} }
@@ -64,6 +72,8 @@ type simCtx struct {
 func (c *simCtx) Now() env.Time    { return c.e.S.Now() }
 func (c *simCtx) CPU(d env.Time)   { c.e.CPUs.Use(c.p, d) }
 func (c *simCtx) Sleep(d env.Time) { c.p.Sleep(d) }
+func (c *simCtx) SetTrace(v any)   { c.p.SetTrace(v) }
+func (c *simCtx) Trace() any       { return c.p.Trace() }
 
 func proc(c env.Ctx) *Proc {
 	if c == nil {

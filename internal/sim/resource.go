@@ -13,6 +13,15 @@ type Station struct {
 	// interval splits (Pool.Use may report one long contiguous burst as
 	// several quantum-sized intervals or vice versa).
 	OnBusy func(start, end Time)
+	// OnAssign, if set, is called for each service interval with the server
+	// it was booked on. Purely observational (tracing); it must not mutate
+	// simulation state.
+	OnAssign func(server int, start, end Time)
+	// lastServer/lastStart record the most recent booking so a caller that
+	// just made a single Assign can recover which server served it and when
+	// service began (used by the device model's span attribution).
+	lastServer int
+	lastStart  Time
 }
 
 // NewStation returns a station with c servers.
@@ -87,10 +96,21 @@ func (st *Station) Assign(now, d Time) (done Time) {
 	st.free[best] = done
 	st.busy += d
 	st.ops++
+	st.lastServer = best
+	st.lastStart = start
 	if st.OnBusy != nil {
 		st.OnBusy(start, done)
 	}
+	if st.OnAssign != nil {
+		st.OnAssign(best, start, done)
+	}
 	return done
+}
+
+// LastAssign returns the server and service-start time of the most recent
+// Assign call.
+func (st *Station) LastAssign() (server int, start Time) {
+	return st.lastServer, st.lastStart
 }
 
 // assignRun books a d-long service as the same sequence of quantum-sized
@@ -133,6 +153,12 @@ type Pool struct {
 	// long-running work (e.g. compactions) time-shares with short requests
 	// instead of monopolizing a core, approximating an OS scheduler.
 	Quantum Time
+	// OnUse, if set, is called once per Use call after the proc has been
+	// charged: arrive is when the proc asked for CPU, done is when the last
+	// burst completed, and cpu is the service time actually charged (so
+	// done-arrive-cpu is time spent queued behind other procs). Purely
+	// observational.
+	OnUse func(pr *Proc, arrive, done, cpu Time)
 }
 
 // NewPool returns a pool of c cores in simulation s.
@@ -158,6 +184,7 @@ func (p *Pool) Use(pr *Proc, d Time) {
 		return
 	}
 	s := p.s
+	arrive, cpu := s.now, d
 	if p.Quantum > 0 && d > p.Quantum {
 		done := p.st.minFree()
 		if done < s.now {
@@ -172,6 +199,9 @@ func (p *Pool) Use(pr *Proc, d Time) {
 				panic("sim: analytic burst disagrees with FCFS booking")
 			}
 			pr.SleepUntil(done)
+			if p.OnUse != nil {
+				p.OnUse(pr, arrive, done, cpu)
+			}
 			return
 		}
 	}
@@ -183,6 +213,9 @@ func (p *Pool) Use(pr *Proc, d Time) {
 		done := p.st.Assign(p.s.now, burst)
 		pr.SleepUntil(done)
 		d -= burst
+	}
+	if p.OnUse != nil {
+		p.OnUse(pr, arrive, s.now, cpu)
 	}
 }
 
@@ -209,6 +242,9 @@ type Mutex struct {
 	// Contended/Acquires is the contention ratio.
 	Acquires  int64
 	Contended int64
+	// onWait, if set, is called after a contended Lock finally acquires the
+	// mutex, with the wait interval. Purely observational.
+	onWait func(p *Proc, start, end Time)
 }
 
 // NewMutex returns an unlocked mutex.
@@ -223,8 +259,12 @@ func (m *Mutex) Lock(p *Proc) {
 	}
 	m.Contended++
 	m.waiters = append(m.waiters, p)
+	t0 := m.s.now
 	p.park()
 	// Ownership was transferred to us by Unlock.
+	if m.onWait != nil {
+		m.onWait(p, t0, m.s.now)
+	}
 }
 
 // TryLock acquires m if it is free and reports whether it did. Failed tries

@@ -94,6 +94,7 @@ type Sim struct {
 	procSeq uint64  // creation order; teardown resumes parked procs in this order
 	procs   []*Proc // all tracked procs in creation order (compacted lazily)
 	done    int     // finished procs still present in procs
+	running *Proc   // the proc currently holding control, nil in scheduler context
 }
 
 // New returns an empty simulation whose random source is seeded with seed.
@@ -339,9 +340,17 @@ func (s *Sim) trackProc(p *Proc) {
 // resumeProc hands control to p and waits until it parks or finishes.
 func (s *Sim) resumeProc(p *Proc) {
 	p.parked = false
+	s.running = p
 	p.resume <- struct{}{}
 	<-s.yield
+	s.running = nil
 }
+
+// Running returns the proc currently holding control, or nil when the
+// scheduler (an I/O completion callback) is running. Observability hooks use
+// it to attribute resource usage to the thread that incurred it; it has no
+// effect on scheduling.
+func (s *Sim) Running() *Proc { return s.running }
 
 // wake schedules p to resume at the current time. It is the primitive used
 // by resources and completion callbacks.
@@ -415,6 +424,7 @@ type Proc struct {
 	resume chan struct{}
 	parked bool
 	done   bool
+	trace  any // observability context (a *trace.Ctx), never read by the kernel
 }
 
 // Name returns the proc's diagnostic name.
@@ -425,6 +435,12 @@ func (p *Proc) Sim() *Sim { return p.sim }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.sim.now }
+
+// SetTrace attaches an observability context to the proc (see env.Ctx).
+func (p *Proc) SetTrace(v any) { p.trace = v }
+
+// Trace returns the context attached with SetTrace, or nil.
+func (p *Proc) Trace() any { return p.trace }
 
 // park suspends the proc until something wakes it. The caller must have
 // arranged a wake-up (a scheduled event or registration with a resource).

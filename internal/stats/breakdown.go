@@ -1,0 +1,63 @@
+package stats
+
+import "kvell/internal/env"
+
+// Breakdown is a set of named latency histograms, one per component of a
+// decomposed measurement (queue wait, CPU service, device service, ...).
+// The trace subsystem records every request's per-component durations here,
+// so percentile queries over any component reuse the O(1) log-linear Hist
+// rather than ad-hoc sample slices. The zero value is not usable; call
+// NewBreakdown.
+type Breakdown struct {
+	names []string
+	hists []*Hist
+}
+
+// NewBreakdown returns an empty breakdown with one histogram per name.
+func NewBreakdown(names ...string) *Breakdown {
+	b := &Breakdown{names: append([]string(nil), names...)}
+	b.hists = make([]*Hist, len(b.names))
+	for i := range b.hists {
+		b.hists[i] = NewHist()
+	}
+	return b
+}
+
+// Len returns the number of components.
+func (b *Breakdown) Len() int { return len(b.names) }
+
+// Name returns the i-th component's name.
+func (b *Breakdown) Name(i int) string { return b.names[i] }
+
+// Hist returns the i-th component's histogram.
+func (b *Breakdown) Hist(i int) *Hist { return b.hists[i] }
+
+// Add records one sample for component i.
+func (b *Breakdown) Add(i int, v env.Time) { b.hists[i].Add(v) }
+
+// Sum returns the total time recorded for component i.
+func (b *Breakdown) Sum(i int) float64 { return b.hists[i].sum }
+
+// Digest returns an FNV-1a hash over every component's name and full
+// histogram state, for determinism regression tests.
+func (b *Breakdown) Digest() uint64 {
+	d := fnv64(fnvOffset)
+	for i, name := range b.names {
+		for _, ch := range []byte(name) {
+			d.word(uint64(ch))
+		}
+		d.word(b.hists[i].Digest())
+	}
+	return uint64(d)
+}
+
+// FNV is an exported incremental FNV-1a hasher, for composite digests built
+// outside this package (the trace subsystem hashes per-request records and
+// folds in histogram digests).
+type FNV uint64
+
+// NewFNV returns the standard FNV-1a offset basis.
+func NewFNV() FNV { return FNV(fnvOffset) }
+
+// Word folds one 64-bit word into the hash, least-significant byte first.
+func (f *FNV) Word(v uint64) { (*fnv64)(f).word(v) }

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"testing"
+
+	"kvell/internal/env"
+)
+
+func TestBreakdownBasic(t *testing.T) {
+	b := NewBreakdown("queue", "cpu", "dev")
+	if b.Len() != 3 || b.Name(1) != "cpu" {
+		t.Fatalf("names: len=%d name(1)=%q", b.Len(), b.Name(1))
+	}
+	for i := 0; i < 100; i++ {
+		b.Add(0, env.Time(i)*env.Microsecond)
+		b.Add(1, env.Microsecond)
+	}
+	if n := b.Hist(0).Count(); n != 100 {
+		t.Fatalf("component 0 count = %d", n)
+	}
+	if n := b.Hist(2).Count(); n != 0 {
+		t.Fatalf("component 2 count = %d", n)
+	}
+	if got := b.Hist(1).Percentile(0.99); got < env.Microsecond/2 || got > 2*env.Microsecond {
+		t.Fatalf("p99 of constant 1us samples = %s", FmtDur(got))
+	}
+	if b.Sum(1) != 100*float64(env.Microsecond) {
+		t.Fatalf("Sum(1) = %v", b.Sum(1))
+	}
+}
+
+// Values beyond the last log bucket boundary all land in the overflow bucket
+// (511); percentile queries there must clamp to the recorded maximum rather
+// than extrapolate the bucket's upper edge.
+func TestBreakdownOverflowBucketPercentiles(t *testing.T) {
+	huge := bucketBounds[511] * 3 // firmly inside the overflow bucket
+	if bucketOf(huge) != 511 {
+		t.Fatalf("test value %d not in overflow bucket (got %d)", huge, bucketOf(huge))
+	}
+	b := NewBreakdown("stall")
+	for i := 0; i < 10; i++ {
+		b.Add(0, huge+env.Time(i))
+	}
+	h := b.Hist(0)
+	wantMax := huge + 9
+	if h.Max() != wantMax {
+		t.Fatalf("max = %d, want %d", h.Max(), wantMax)
+	}
+	for _, p := range []float64{0.5, 0.99, 0.999, 1.0} {
+		if got := h.Percentile(p); got != wantMax {
+			t.Errorf("p%g = %d, want clamp to max %d", p*100, got, wantMax)
+		}
+	}
+	// A mixed distribution still resolves percentiles below the overflow.
+	b2 := NewBreakdown("mixed")
+	for i := 0; i < 990; i++ {
+		b2.Add(0, env.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		b2.Add(0, huge)
+	}
+	h2 := b2.Hist(0)
+	if got := h2.Percentile(0.5); got > 2*env.Microsecond {
+		t.Errorf("p50 = %d, want ~1us", got)
+	}
+	if got := h2.Percentile(0.999); got != huge {
+		t.Errorf("p99.9 = %d, want overflow clamp to max %d", got, huge)
+	}
+}
+
+func TestBreakdownDigest(t *testing.T) {
+	a := NewBreakdown("x", "y")
+	b := NewBreakdown("x", "y")
+	for i := 0; i < 50; i++ {
+		a.Add(i%2, env.Time(i))
+		b.Add(i%2, env.Time(i))
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical breakdowns digest differently")
+	}
+	b.Add(0, 1)
+	if a.Digest() == b.Digest() {
+		t.Fatal("different breakdowns digest identically")
+	}
+	if NewBreakdown("x").Digest() == NewBreakdown("y").Digest() {
+		t.Fatal("component names not folded into digest")
+	}
+}

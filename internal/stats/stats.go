@@ -155,6 +155,11 @@ func (h *Hist) Percentile(p float64) env.Time {
 	for i, c := range h.counts {
 		cum += c
 		if cum > target {
+			if i == len(h.counts)-1 {
+				// The overflow bucket is unbounded above; the recorded
+				// maximum is the only honest answer.
+				return h.max
+			}
 			// Upper edge of bucket i.
 			v := env.Time(math.Pow(growth, float64(i+1)))
 			if v > h.max {

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"testing"
+
+	"kvell/internal/env"
+)
+
+// TestAllocBudgetDisabled pins the tracing-off fast path at zero
+// allocations: every request runs the nil-tracer branches, so a disabled
+// tracer must cost nothing (the PR-3 zero-allocation data plane budgets
+// include these calls).
+func TestAllocBudgetDisabled(t *testing.T) {
+	var tr *Tracer
+	now := env.Time(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		c := tr.Begin(0, now)
+		c.EndQueue(now + 10)
+		c.AddCPU(now+10, now+40, 20)
+		c.AddDev(0, 1, now+40, now+50, now+90)
+		c.Span("index", now, now+5)
+		tr.Finish(c, now+100)
+		tr.AddBg("devspike", now, now+10)
+		now += 100
+	}); n != 0 {
+		t.Errorf("disabled tracing allocates %v per request, want 0", n)
+	}
+}
+
+// TestAllocBudgetUnsampled pins the counters-only path (enabled tracer, the
+// request not in the sample) at zero steady-state allocations: contexts are
+// pooled and unsampled requests retain no spans.
+func TestAllocBudgetUnsampled(t *testing.T) {
+	tr := NewTracer(1 << 30) // request 0 is sampled; warm it up first
+	c := tr.Begin(0, 0)
+	tr.Finish(c, 10)
+	now := env.Time(100)
+	if n := testing.AllocsPerRun(1000, func() {
+		c := tr.Begin(1, now)
+		c.EndQueue(now + 10)
+		c.AddCPU(now+10, now+40, 20)
+		c.AddDev(0, 1, now+40, now+50, now+90)
+		tr.Finish(c, now+100)
+		now += 100
+	}); n != 0 {
+		t.Errorf("unsampled tracing allocates %v per request, want 0", n)
+	}
+}
+
+// TestAllocBudgetSampled bounds the sampled path: span retention appends to
+// growing slices, so it cannot be free, but the amortized cost per sampled
+// request must stay small and flat.
+func TestAllocBudgetSampled(t *testing.T) {
+	tr := NewTracer(1)
+	now := env.Time(0)
+	n := testing.AllocsPerRun(2000, func() {
+		c := tr.Begin(0, now)
+		c.EndQueue(now + 10)
+		c.AddCPU(now+10, now+40, 20)
+		c.AddCore(2, now+20, now+40)
+		c.AddDev(0, 1, now+40, now+50, now+90)
+		c.Span("index", now+10, now+15)
+		tr.Finish(c, now+100)
+		now += 100
+	})
+	if n > 4 {
+		t.Errorf("sampled tracing allocates %v per request, want amortized <= 4", n)
+	}
+}

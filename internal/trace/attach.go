@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"kvell/internal/env"
+	"kvell/internal/sim"
+)
+
+// FromCtx returns the trace context attached to the thread, or nil. All Ctx
+// methods are nil-safe, so callers instrument unconditionally:
+//
+//	trace.FromCtx(c).Add(trace.CompStall, t0, c.Now())
+func FromCtx(c env.Ctx) *Ctx {
+	if c == nil {
+		return nil
+	}
+	tc, _ := c.Trace().(*Ctx)
+	return tc
+}
+
+// Attach wires the tracer into a simulation's instrumentation hooks: CPU
+// bursts (service + core-queue time), per-core service slices, and mutex
+// acquire waits, each attributed to whatever trace context the running proc
+// carries. Call it after sim.NewEnv and before the engine is built (mutexes
+// copy the hook at creation). All hooks are observational only — they never
+// schedule events, charge CPU, or draw randomness — so the simulated
+// schedule is bit-identical with tracing on or off.
+func Attach(t *Tracer, e *sim.Env) {
+	if t == nil {
+		return
+	}
+	e.OnMutexWait = func(p *sim.Proc, start, end env.Time) {
+		if tc, ok := p.Trace().(*Ctx); ok {
+			tc.Add(CompLock, start, end)
+		}
+	}
+	e.CPUs.OnUse = func(pr *sim.Proc, arrive, done, cpu env.Time) {
+		if tc, ok := pr.Trace().(*Ctx); ok {
+			tc.AddCPU(arrive, done, cpu)
+		}
+	}
+	e.CPUs.Station().OnAssign = func(server int, start, end env.Time) {
+		// Per-core occupancy slices for the Chrome trace's core tracks. Only
+		// procs carrying a sampled context emit slices, keeping the trace
+		// bounded; the running proc is nil for scheduler-context bookings.
+		if p := e.S.Running(); p != nil {
+			if tc, ok := p.Trace().(*Ctx); ok {
+				tc.AddCore(server, start, end)
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"kvell/internal/env"
+	"kvell/internal/stats"
+)
+
+// Chrome trace-event export (the JSON Array Format understood by Perfetto
+// and chrome://tracing). Track layout:
+//
+//	pid 1          "cores":       one thread per simulated core
+//	pid 2          "ops":         sampled requests, packed into lanes so
+//	                              concurrent requests land on separate rows;
+//	                              component and named spans nest inside
+//	pid 3          "maintenance": one thread per background job kind, with
+//	                              the jobs' own CPU/lock spans nested inside
+//	pid 10+d       "disk d":      one thread per device channel
+//
+// Timestamps are virtual microseconds since simulation start; a slow client
+// op visibly overlaps the compaction/flush slice that delayed it.
+const (
+	pidCores       = 1
+	pidOps         = 2
+	pidMaintenance = 3
+	pidDiskBase    = 10
+)
+
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]uint64 `json:"args,omitempty"`
+}
+
+func usec(t env.Time) float64 { return float64(t) / 1e3 }
+
+// WriteChrome writes the retained spans as Chrome trace-event JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	var events []chromeEvent
+
+	// Lane-pack the sampled op slices: each request takes the lowest lane
+	// whose previous occupant ended before it starts, so overlapping
+	// requests never share a track row. Deterministic: spans are scanned in
+	// retained order after a stable sort by start time.
+	type opSlice struct {
+		span Span
+		idx  int
+	}
+	var ops []opSlice
+	for i, s := range t.spans {
+		if s.Kind == KindOp {
+			ops = append(ops, opSlice{s, i})
+		}
+	}
+	sort.SliceStable(ops, func(i, j int) bool {
+		if ops[i].span.Start != ops[j].span.Start {
+			return ops[i].span.Start < ops[j].span.Start
+		}
+		return ops[i].idx < ops[j].idx
+	})
+	opLane := make(map[uint64]int, len(ops))
+	var laneEnd []env.Time
+	for _, o := range ops {
+		lane := -1
+		for l, e := range laneEnd {
+			if e <= o.span.Start {
+				lane = l
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+		}
+		laneEnd[lane] = o.span.End
+		opLane[o.span.ID] = lane
+	}
+
+	// Background job kinds -> maintenance thread, in order of first
+	// appearance (deterministic: t.bg is in completion order).
+	bgTid := make(map[uint64]int, len(t.bg))
+	kindTid := make(map[string]int)
+	var kindNames []string
+	for _, s := range t.bg {
+		tid, ok := kindTid[s.Name]
+		if !ok {
+			tid = len(kindNames)
+			kindTid[s.Name] = tid
+			kindNames = append(kindNames, s.Name)
+		}
+		bgTid[s.ID] = tid
+	}
+
+	emit := func(name string, pid, tid int, start, end env.Time, id uint64, withID bool) {
+		ev := chromeEvent{Name: name, Ph: "X", Ts: usec(start), Dur: usec(end - start), Pid: pid, Tid: tid}
+		if withID {
+			ev.Args = map[string]uint64{"req": id}
+		}
+		events = append(events, ev)
+	}
+
+	maxCore, maxDisk := 0, -1
+	diskChans := map[int]int{}
+	route := func(s Span) {
+		switch s.Kind {
+		case KindOp:
+			emit(s.Name, pidOps, opLane[s.ID], s.Start, s.End, s.ID, true)
+		case KindComp:
+			name := "comp"
+			if s.Comp >= 0 && int(s.Comp) < len(CompNames) {
+				name = CompNames[s.Comp]
+			}
+			if s.Bg {
+				emit(name, pidMaintenance, bgTid[s.ID], s.Start, s.End, 0, false)
+			} else {
+				emit(name, pidOps, opLane[s.ID], s.Start, s.End, 0, false)
+			}
+		case KindNamed:
+			if s.Bg {
+				emit(s.Name, pidMaintenance, bgTid[s.ID], s.Start, s.End, 0, false)
+			} else {
+				emit(s.Name, pidOps, opLane[s.ID], s.Start, s.End, 0, false)
+			}
+		case KindBg:
+			emit(s.Name, pidMaintenance, bgTid[s.ID], s.Start, s.End, s.ID, false)
+		case KindCore:
+			if int(s.Track) > maxCore {
+				maxCore = int(s.Track)
+			}
+			emit("run", pidCores, int(s.Track), s.Start, s.End, s.ID, !s.Bg)
+		case KindDev:
+			d := int(s.Disk)
+			if d > maxDisk {
+				maxDisk = d
+			}
+			if int(s.Track) > diskChans[d] {
+				diskChans[d] = int(s.Track)
+			}
+			emit("io", pidDiskBase+d, int(s.Track), s.Start, s.End, s.ID, !s.Bg)
+		}
+	}
+	for _, s := range t.spans {
+		route(s)
+	}
+	for _, s := range t.bg {
+		route(s)
+	}
+
+	// Process/thread name metadata, written as raw objects alongside the
+	// marshalled events (metadata args hold strings, the event args above
+	// hold numbers; mixing the two in one struct would force map[string]any).
+	var metas []string
+	addMeta := func(pid, tid int, ph, name string) {
+		if tid < 0 {
+			metas = append(metas, fmt.Sprintf(
+				`{"name":%q,"ph":"M","pid":%d,"args":{"name":%q}}`, ph, pid, name))
+			return
+		}
+		metas = append(metas, fmt.Sprintf(
+			`{"name":%q,"ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`, ph, pid, tid, name))
+	}
+	addMeta(pidCores, -1, "process_name", "cores")
+	for i := 0; i <= maxCore; i++ {
+		addMeta(pidCores, i, "thread_name", fmt.Sprintf("core %d", i))
+	}
+	addMeta(pidOps, -1, "process_name", "ops")
+	for i := range laneEnd {
+		addMeta(pidOps, i, "thread_name", fmt.Sprintf("ops lane %d", i))
+	}
+	addMeta(pidMaintenance, -1, "process_name", "maintenance")
+	for i, name := range kindNames {
+		addMeta(pidMaintenance, i, "thread_name", name)
+	}
+	// Disk ids seen, in ascending order (map iteration is unordered).
+	var disks []int
+	for d := range diskChans {
+		disks = append(disks, d)
+	}
+	sort.Ints(disks)
+	for _, d := range disks {
+		addMeta(pidDiskBase+d, -1, "process_name", fmt.Sprintf("disk %d", d))
+		for ch := 0; ch <= diskChans[d]; ch++ {
+			addMeta(pidDiskBase+d, ch, "thread_name", fmt.Sprintf("chan %d", ch))
+		}
+	}
+
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	first := true
+	writeRaw := func(raw []byte) error {
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := w.Write(raw)
+		return err
+	}
+	for _, m := range metas {
+		if err := writeRaw([]byte(m)); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if err := writeRaw(raw); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}
+
+// WriteBreakdownTable writes the per-component latency table: each
+// component's share of total measured time and its per-request distribution.
+func (t *Tracer) WriteBreakdownTable(w io.Writer) {
+	totalSum := 0.0
+	for i := 0; i < NumComponents; i++ {
+		totalSum += t.breakdown.Sum(i)
+	}
+	fmt.Fprintf(w, "  %-12s %7s %10s %10s %10s %10s %10s\n",
+		"component", "share", "mean", "p50", "p99", "p99.9", "max")
+	for i := 0; i < NumComponents; i++ {
+		h := t.breakdown.Hist(i)
+		share := 0.0
+		if totalSum > 0 {
+			share = t.breakdown.Sum(i) / totalSum
+		}
+		fmt.Fprintf(w, "  %-12s %6.1f%% %10s %10s %10s %10s %10s\n",
+			t.breakdown.Name(i), share*100,
+			stats.FmtDur(h.Mean()), stats.FmtDur(h.Percentile(0.50)),
+			stats.FmtDur(h.Percentile(0.99)), stats.FmtDur(h.Percentile(0.999)),
+			stats.FmtDur(h.Max()))
+	}
+	fmt.Fprintf(w, "  %-12s %7s %10s %10s %10s %10s %10s\n",
+		"end-to-end", "100%",
+		stats.FmtDur(t.total.Mean()), stats.FmtDur(t.total.Percentile(0.50)),
+		stats.FmtDur(t.total.Percentile(0.99)), stats.FmtDur(t.total.Percentile(0.999)),
+		stats.FmtDur(t.total.Max()))
+}

@@ -1,0 +1,455 @@
+// Package trace is the simulator's deterministic observability layer: it
+// decomposes every request's end-to-end latency into components (queue wait,
+// CPU service, run-queue wait, lock wait, write stalls, device queue, device
+// service) and records virtual-time spans for a deterministic sample of
+// requests plus every background maintenance job, so a slow operation can be
+// attributed to the exact compaction/flush/checkpoint/eviction that delayed
+// it — the evidence behind the paper's Figure 2.
+//
+// Everything here is purely observational: tracing schedules no events,
+// charges no CPU, draws no randomness, and takes no locks, so the simulated
+// schedule is bit-identical with tracing on or off (the golden digests hold
+// in both modes). All timestamps are virtual (env.Time from the sim clock);
+// the tracetime lint analyzer enforces that this package never sees the wall
+// clock. Sampling is by request sequence number (1 in SampleEvery), never by
+// wall time or math/rand, so the sampled set is a pure function of the seed.
+//
+// A nil *Tracer and a nil *Ctx are valid everywhere and make every method a
+// no-op, keeping the tracing-disabled hot path allocation free.
+package trace
+
+import (
+	"sort"
+
+	"kvell/internal/env"
+	"kvell/internal/stats"
+)
+
+// Latency components. The primary components (everything before CompOther)
+// are designed to be disjoint in time, so their sum approximates the op's
+// end-to-end latency; CompOther is the derived remainder. Known small
+// overlap: a condition-variable wait inside a stall window re-acquires its
+// mutex, which can double-count a sliver of CompLock inside CompStall —
+// coverage is therefore computed from the union of span intervals, which
+// overlapping spans cannot inflate.
+const (
+	CompQueue      = iota // engine queue dwell (submit -> worker dequeue, completion -> continuation)
+	CompCPU               // CPU service (Pool.Use busy time)
+	CompCPUQ              // CPU run-queue wait (Pool.Use wall time beyond service)
+	CompLock              // contended mutex acquisition
+	CompStall             // engine write stalls (memtable rotation, dirty-page stalls, L0 slowdown)
+	CompDevQueue          // device queue wait (submit -> service start)
+	CompDevService        // device service time
+	CompOther             // remainder of end-to-end latency not booked above
+	NumComponents
+)
+
+// CompNames names the components, indexed by the constants above.
+var CompNames = [NumComponents]string{
+	"queue", "cpu", "cpu-queue", "lock", "stall", "dev-queue", "dev-service", "other",
+}
+
+// Span kinds.
+const (
+	KindOp    = iota // one traced request, [issue, done)
+	KindComp         // a component interval of a request or background job
+	KindNamed        // an engine-internal named interval (index lookup, WAL append)
+	KindBg           // one background maintenance job (flush, compaction, ...)
+	KindCore         // occupancy of one simulated core
+	KindDev          // occupancy of one device channel
+)
+
+// Span is one virtual-time interval. ID is the owning request's sequence
+// number (or the background job's id when Bg is set); Track carries the core
+// or device-channel index for KindCore/KindDev.
+type Span struct {
+	Kind  uint8
+	Comp  int8 // component index for KindComp, -1 otherwise
+	Bg    bool // owner is a background job, not a request
+	Disk  int16
+	Track int32
+	ID    uint64
+	Name  string
+	Start env.Time
+	End   env.Time
+}
+
+// Ctx is the per-request (or per-background-job) trace context. It is pooled
+// by its Tracer: after Finish/FinishBg the context must not be touched. All
+// methods are nil-receiver safe.
+type Ctx struct {
+	tr      *Tracer
+	id      uint64
+	op      int
+	bgName  string
+	bg      bool
+	sampled bool
+	start   env.Time
+	qMark   env.Time
+	comp    [NumComponents]env.Time
+	spans   []Span
+}
+
+// Sampled reports whether this context records full span lists.
+func (c *Ctx) Sampled() bool { return c != nil && c.sampled }
+
+func (c *Ctx) push(s Span) {
+	s.ID = c.id
+	s.Bg = c.bg
+	c.spans = append(c.spans, s)
+}
+
+// Add books [start, end) under component comp.
+func (c *Ctx) Add(comp int, start, end env.Time) {
+	if c == nil || end <= start {
+		return
+	}
+	c.comp[comp] += end - start
+	if c.sampled {
+		c.push(Span{Kind: KindComp, Comp: int8(comp), Start: start, End: end})
+	}
+}
+
+// AddCPU books one Pool.Use: cpu ns of service finishing at done, with the
+// wall time before it ([arrive, done-cpu)) booked as run-queue wait. The
+// service is placed at the end of the interval; per-core placement of the
+// actual bursts comes from AddCore.
+func (c *Ctx) AddCPU(arrive, done, cpu env.Time) {
+	if c == nil {
+		return
+	}
+	c.Add(CompCPUQ, arrive, done-cpu)
+	c.Add(CompCPU, done-cpu, done)
+}
+
+// AddCore records one core-occupancy slice (sampled contexts only; the
+// component accounting comes from AddCPU).
+func (c *Ctx) AddCore(server int, start, end env.Time) {
+	if c == nil || !c.sampled || end <= start {
+		return
+	}
+	c.push(Span{Kind: KindCore, Comp: -1, Track: int32(server), Start: start, End: end})
+}
+
+// AddDev books one device request: queue wait [enq, start), service
+// [start, done) on the given disk channel.
+func (c *Ctx) AddDev(disk, channel int, enq, start, done env.Time) {
+	if c == nil {
+		return
+	}
+	c.Add(CompDevQueue, enq, start)
+	c.Add(CompDevService, start, done)
+	if c.sampled && done > start {
+		c.push(Span{Kind: KindDev, Comp: -1, Disk: int16(disk), Track: int32(channel), Start: start, End: done})
+	}
+}
+
+// MarkQueue stamps the start of a queue dwell (e.g. push onto a worker
+// queue); EndQueue books the dwell ending now.
+func (c *Ctx) MarkQueue(now env.Time) {
+	if c != nil {
+		c.qMark = now
+	}
+}
+
+// EndQueue books [last MarkQueue, now) as queue wait.
+func (c *Ctx) EndQueue(now env.Time) {
+	if c == nil {
+		return
+	}
+	c.Add(CompQueue, c.qMark, now)
+}
+
+// Span records a named engine-internal interval (sampled contexts only).
+// Named spans are annotations: they overlap the component intervals and are
+// not part of the breakdown accounting.
+func (c *Ctx) Span(name string, start, end env.Time) {
+	if c == nil || !c.sampled || end <= start {
+		return
+	}
+	c.push(Span{Kind: KindNamed, Comp: -1, Name: name, Start: start, End: end})
+}
+
+// Outlier is the worst (largest end-to-end latency) sampled request.
+type Outlier struct {
+	set      bool
+	ID       uint64
+	Op       string
+	Start    env.Time
+	End      env.Time
+	Total    env.Time
+	Coverage float64
+	Comp     [NumComponents]env.Time
+	Spans    []Span
+}
+
+// Tracer accumulates per-component breakdowns for every finished request,
+// span lists for the deterministic sample, and background job slices. One
+// Tracer serves one engine run; it is single-simulation state (the sim runs
+// procs one at a time), so no locking is needed or wanted.
+type Tracer struct {
+	// OpNames maps the op code passed to Begin to a display name; the
+	// harness fills it with the kv op names.
+	OpNames []string
+
+	sampleEvery uint64
+	seq         uint64
+	bgSeq       uint64
+	free        []*Ctx
+
+	total     *stats.Hist
+	breakdown *stats.Breakdown
+
+	spans []Span // retained spans of sampled requests and background jobs
+	bg    []Span // background job slices, always recorded
+
+	covSum   float64
+	covMin   float64
+	sampled  int64
+	finished int64
+
+	outlier Outlier
+	digest  stats.FNV
+}
+
+// NewTracer returns a tracer sampling one request in sampleEvery (0 disables
+// span recording; component breakdowns are always on).
+func NewTracer(sampleEvery int) *Tracer {
+	return &Tracer{
+		sampleEvery: uint64(sampleEvery),
+		total:       stats.NewHist(),
+		breakdown:   stats.NewBreakdown(CompNames[:]...),
+		covMin:      1,
+		digest:      stats.NewFNV(),
+	}
+}
+
+func (t *Tracer) get() *Ctx {
+	if n := len(t.free); n > 0 {
+		c := t.free[n-1]
+		t.free = t.free[:n-1]
+		return c
+	}
+	return &Ctx{tr: t}
+}
+
+func (t *Tracer) put(c *Ctx) {
+	c.comp = [NumComponents]env.Time{}
+	c.spans = c.spans[:0]
+	c.bg = false
+	c.bgName = ""
+	c.sampled = false
+	t.free = append(t.free, c)
+}
+
+// Begin opens a trace context for one request issued now. Returns nil on a
+// nil tracer (the disabled fast path).
+func (t *Tracer) Begin(op int, now env.Time) *Ctx {
+	if t == nil {
+		return nil
+	}
+	id := t.seq
+	t.seq++
+	c := t.get()
+	c.id = id
+	c.op = op
+	c.start = now
+	c.qMark = now
+	c.sampled = t.sampleEvery != 0 && id%t.sampleEvery == 0
+	return c
+}
+
+func (t *Tracer) opName(op int) string {
+	if op >= 0 && op < len(t.OpNames) {
+		return t.OpNames[op]
+	}
+	return "op"
+}
+
+// Finish closes a request context: folds its components into the breakdown
+// and digest, retains its spans if sampled, and returns it to the pool. The
+// context must not be used afterwards.
+func (t *Tracer) Finish(c *Ctx, end env.Time) {
+	if t == nil || c == nil {
+		return
+	}
+	total := end - c.start
+	if total < 0 {
+		total = 0
+	}
+	t.finished++
+	t.total.Add(total)
+	var sum env.Time
+	for i := 0; i < CompOther; i++ {
+		sum += c.comp[i]
+	}
+	other := total - sum
+	if other < 0 {
+		other = 0
+	}
+	c.comp[CompOther] = other
+	for i := 0; i < NumComponents; i++ {
+		t.breakdown.Add(i, c.comp[i])
+	}
+	t.digest.Word(c.id)
+	t.digest.Word(uint64(c.op))
+	t.digest.Word(uint64(c.start))
+	t.digest.Word(uint64(end))
+	for i := 0; i < NumComponents; i++ {
+		t.digest.Word(uint64(c.comp[i]))
+	}
+	if c.sampled {
+		t.sampled++
+		cov := 1.0
+		if total > 0 {
+			cov = float64(unionCovered(c.spans, c.start, end)) / float64(total)
+		}
+		t.covSum += cov
+		if cov < t.covMin {
+			t.covMin = cov
+		}
+		if !t.outlier.set || total > t.outlier.Total {
+			t.outlier = Outlier{
+				set: true, ID: c.id, Op: t.opName(c.op),
+				Start: c.start, End: end, Total: total, Coverage: cov,
+				Comp:  c.comp,
+				Spans: append([]Span(nil), c.spans...),
+			}
+		}
+		t.spans = append(t.spans, Span{Kind: KindOp, Comp: -1, ID: c.id, Name: t.opName(c.op), Start: c.start, End: end})
+		t.spans = append(t.spans, c.spans...)
+	}
+	t.put(c)
+}
+
+// BeginBg opens a context for one background maintenance job (flush,
+// compaction, checkpoint, eviction). Background contexts always record
+// spans.
+func (t *Tracer) BeginBg(name string, now env.Time) *Ctx {
+	if t == nil {
+		return nil
+	}
+	c := t.get()
+	c.id = t.bgSeq
+	t.bgSeq++
+	c.bg = true
+	c.bgName = name
+	c.sampled = true
+	c.start = now
+	c.qMark = now
+	return c
+}
+
+// FinishBg closes a background job context.
+func (t *Tracer) FinishBg(c *Ctx, end env.Time) {
+	if t == nil || c == nil {
+		return
+	}
+	t.bg = append(t.bg, Span{Kind: KindBg, Comp: -1, Bg: true, ID: c.id, Name: c.bgName, Start: c.start, End: end})
+	t.spans = append(t.spans, c.spans...)
+	t.digest.Word(^c.id) // distinguish bg records from request records
+	t.digest.Word(uint64(c.start))
+	t.digest.Word(uint64(end))
+	t.put(c)
+}
+
+// AddBg records a background slice without a context (e.g. a device
+// performance spike).
+func (t *Tracer) AddBg(name string, start, end env.Time) {
+	if t == nil {
+		return
+	}
+	id := t.bgSeq
+	t.bgSeq++
+	t.bg = append(t.bg, Span{Kind: KindBg, Comp: -1, Bg: true, ID: id, Name: name, Start: start, End: end})
+	t.digest.Word(^id)
+	t.digest.Word(uint64(start))
+	t.digest.Word(uint64(end))
+}
+
+// unionCovered returns the length of [start, end) covered by the union of
+// the span intervals: overlapping spans (named annotations, core slices
+// inside CPU windows) cannot inflate it past the interval's length. Sorts
+// spans in place.
+func unionCovered(spans []Span, start, end env.Time) env.Time {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	var covered env.Time
+	cur := start
+	for _, s := range spans {
+		s0, s1 := s.Start, s.End
+		if s0 < cur {
+			s0 = cur
+		}
+		if s1 > end {
+			s1 = end
+		}
+		if s1 <= s0 {
+			continue
+		}
+		covered += s1 - s0
+		cur = s1
+	}
+	return covered
+}
+
+// Finished returns the number of finished traced requests.
+func (t *Tracer) Finished() int64 { return t.finished }
+
+// SampledCount returns how many finished requests recorded full span lists.
+func (t *Tracer) SampledCount() int64 { return t.sampled }
+
+// Total returns the end-to-end latency histogram over traced requests.
+func (t *Tracer) Total() *stats.Hist { return t.total }
+
+// Breakdown returns the per-component latency breakdown.
+func (t *Tracer) Breakdown() *stats.Breakdown { return t.breakdown }
+
+// Coverage returns the minimum and mean fraction of sampled requests'
+// end-to-end latency covered by the union of their component spans.
+func (t *Tracer) Coverage() (min, mean float64) {
+	if t.sampled == 0 {
+		return 0, 0
+	}
+	return t.covMin, t.covSum / float64(t.sampled)
+}
+
+// Outlier returns the worst sampled request.
+func (t *Tracer) Outlier() Outlier { return t.outlier }
+
+// BgSpans returns the recorded background job slices.
+func (t *Tracer) BgSpans() []Span { return t.bg }
+
+// Spans returns the retained spans of sampled requests and background jobs.
+func (t *Tracer) Spans() []Span { return t.spans }
+
+// OutlierMaintenance returns the names of engine maintenance jobs whose
+// slices overlap the outlier request's lifetime. Device-internal spikes
+// ("devspike") are excluded: they hit every engine alike, while the paper's
+// Figure-2 argument is about engine-generated maintenance work.
+func (t *Tracer) OutlierMaintenance() []string {
+	if t == nil || !t.outlier.set {
+		return nil
+	}
+	var names []string
+	for _, s := range t.bg {
+		if s.Name == "devspike" {
+			continue
+		}
+		if s.Start < t.outlier.End && s.End > t.outlier.Start {
+			names = append(names, s.Name)
+		}
+	}
+	return names
+}
+
+// Digest returns an FNV-1a fingerprint of every finished request's identity
+// and component decomposition plus every background slice, folded with the
+// full breakdown and total-latency histogram state. Two same-seed runs must
+// produce identical digests.
+func (t *Tracer) Digest() uint64 {
+	d := t.digest
+	d.Word(t.breakdown.Digest())
+	d.Word(t.total.Digest())
+	d.Word(uint64(len(t.spans)))
+	return uint64(d)
+}

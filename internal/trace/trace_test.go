@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"kvell/internal/env"
+)
+
+// TestNilSafety: a nil tracer and nil contexts must make every call a no-op
+// (the tracing-disabled fast path takes these branches on every request).
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	c := tr.Begin(0, 0)
+	if c != nil {
+		t.Fatal("nil tracer returned a context")
+	}
+	c.Add(CompCPU, 0, 10)
+	c.AddCPU(0, 10, 5)
+	c.AddCore(0, 0, 10)
+	c.AddDev(0, 0, 0, 5, 10)
+	c.MarkQueue(0)
+	c.EndQueue(10)
+	c.Span("index", 0, 10)
+	if c.Sampled() {
+		t.Fatal("nil context claims sampled")
+	}
+	tr.Finish(c, 10)
+	bc := tr.BeginBg("flush", 0)
+	tr.FinishBg(bc, 10)
+	tr.AddBg("devspike", 0, 10)
+	if tr.OutlierMaintenance() != nil {
+		t.Fatal("nil tracer returned maintenance")
+	}
+}
+
+// TestSampling: sampling is 1-in-N by sequence number; unsampled requests
+// still feed the breakdown but retain no spans.
+func TestSampling(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 8; i++ {
+		c := tr.Begin(0, env.Time(i*100))
+		if got, want := c.Sampled(), i%4 == 0; got != want {
+			t.Errorf("request %d: sampled=%v want %v", i, got, want)
+		}
+		c.Add(CompCPU, env.Time(i*100), env.Time(i*100+50))
+		tr.Finish(c, env.Time(i*100+50))
+	}
+	if tr.Finished() != 8 || tr.SampledCount() != 2 {
+		t.Fatalf("finished=%d sampled=%d, want 8/2", tr.Finished(), tr.SampledCount())
+	}
+	if got := tr.Breakdown().Hist(CompCPU).Count(); got != 8 {
+		t.Fatalf("breakdown saw %d requests, want 8 (sampling must not affect counters)", got)
+	}
+	// sampleEvery=0 disables span retention entirely.
+	tr0 := NewTracer(0)
+	c := tr0.Begin(0, 0)
+	if c.Sampled() {
+		t.Fatal("sampleEvery=0 sampled a request")
+	}
+	c.Add(CompCPU, 0, 10)
+	tr0.Finish(c, 10)
+	if len(tr0.Spans()) != 0 {
+		t.Fatal("sampleEvery=0 retained spans")
+	}
+	if tr0.Finished() != 1 {
+		t.Fatal("sampleEvery=0 dropped the counter")
+	}
+}
+
+// TestComponentAccounting: CompOther is the exact remainder, and AddCPU
+// splits wall time into run-queue wait plus service.
+func TestComponentAccounting(t *testing.T) {
+	tr := NewTracer(1)
+	c := tr.Begin(1, 1000)
+	c.EndQueue(1100)         // queue 100 (qMark stamped by Begin)
+	c.AddCPU(1100, 1400, 50) // cpu-queue 250, cpu 50
+	c.AddDev(0, 2, 1400, 1500, 1900)
+	tr.Finish(c, 2000)
+	b := tr.Breakdown()
+	want := map[int]env.Time{
+		CompQueue: 100, CompCPUQ: 250, CompCPU: 50,
+		CompDevQueue: 100, CompDevService: 400, CompOther: 100,
+	}
+	for comp, w := range want {
+		if got := env.Time(b.Sum(comp)); got != w {
+			t.Errorf("%s: sum %d want %d", CompNames[comp], got, w)
+		}
+	}
+	out := tr.Outlier()
+	if out.Total != 1000 || out.Coverage < 0.89 || out.Coverage > 0.91 {
+		t.Errorf("outlier total=%d coverage=%v, want 1000 and 0.9", out.Total, out.Coverage)
+	}
+}
+
+// TestUnionCoverage: overlapping spans (named annotations inside component
+// windows) must not inflate coverage past 100%.
+func TestUnionCoverage(t *testing.T) {
+	spans := []Span{
+		{Start: 0, End: 60},
+		{Start: 10, End: 50}, // fully inside the first
+		{Start: 40, End: 80}, // overlaps the first's tail
+	}
+	if got := unionCovered(spans, 0, 100); got != 80 {
+		t.Fatalf("union covered %d, want 80", got)
+	}
+	tr := NewTracer(1)
+	c := tr.Begin(0, 0)
+	c.Add(CompCPU, 0, 100)
+	c.Span("index", 20, 80) // annotation overlapping the CPU window
+	tr.Finish(c, 100)
+	if _, mean := tr.Coverage(); mean != 1.0 {
+		t.Fatalf("coverage %v, want exactly 1.0", mean)
+	}
+}
+
+// TestDigest: the digest is a pure function of the recorded activity —
+// identical for identical runs, different when any request differs.
+func TestDigest(t *testing.T) {
+	mk := func(end env.Time) uint64 {
+		tr := NewTracer(2)
+		for i := 0; i < 4; i++ {
+			c := tr.Begin(i%2, env.Time(i)*100)
+			c.Add(CompCPU, env.Time(i)*100, env.Time(i)*100+30)
+			tr.Finish(c, env.Time(i)*100+end)
+		}
+		tr.AddBg("flush", 50, 90)
+		return tr.Digest()
+	}
+	if mk(40) != mk(40) {
+		t.Fatal("identical activity produced different digests")
+	}
+	if mk(40) == mk(41) {
+		t.Fatal("different activity produced the same digest")
+	}
+}
+
+// TestOutlierMaintenance: bg jobs overlapping the worst request are named;
+// device spikes are excluded.
+func TestOutlierMaintenance(t *testing.T) {
+	tr := NewTracer(1)
+	c := tr.Begin(0, 1000)
+	c.Add(CompStall, 1000, 1900)
+	tr.Finish(c, 2000)
+
+	bc := tr.BeginBg("compaction", 500)
+	tr.FinishBg(bc, 1500) // overlaps
+	tr.AddBg("devspike", 1200, 1300)
+	tr.AddBg("flush", 3000, 4000) // after the outlier ended
+
+	m := tr.OutlierMaintenance()
+	if len(m) != 1 || m[0] != "compaction" {
+		t.Fatalf("maintenance = %v, want [compaction]", m)
+	}
+}
+
+// TestChromeExportSynthetic: the exporter emits valid JSON with op lanes,
+// core, disk, and maintenance tracks from a hand-built trace.
+func TestChromeExportSynthetic(t *testing.T) {
+	tr := NewTracer(1)
+	tr.OpNames = []string{"get", "update"}
+	a := tr.Begin(0, 0)
+	a.Add(CompCPU, 0, 50)
+	a.AddCore(3, 0, 50)
+	a.AddDev(1, 2, 50, 60, 90)
+	tr.Finish(a, 100)
+	b := tr.Begin(1, 40) // overlaps a: must land on a second lane
+	b.Add(CompCPU, 40, 80)
+	tr.Finish(b, 120)
+	bc := tr.BeginBg("flush", 10)
+	bc.Add(CompCPU, 10, 30)
+	tr.FinishBg(bc, 60)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"ops lane 0"`, `"ops lane 1"`, `"core 3"`, `"disk 1"`, `"flush"`, `"get"`, `"update"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %s", want)
+		}
+	}
+}

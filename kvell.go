@@ -80,6 +80,8 @@ type clientCtx struct{ e *env.RealEnv }
 func (c clientCtx) Now() env.Time    { return c.e.Now() }
 func (c clientCtx) CPU(env.Time)     {}
 func (c clientCtx) Sleep(d env.Time) {}
+func (c clientCtx) SetTrace(any)     {}
+func (c clientCtx) Trace() any       { return nil }
 
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("kvell: store is closed")
