@@ -6,52 +6,119 @@
 //
 //	go run ./cmd/kvell-lint ./...
 //
-// It exits non-zero when any diagnostic survives suppression. Findings can be
-// suppressed, with a mandatory reason, by a comment on the offending line or
-// the line above it:
+// It exits 1 when any diagnostic survives suppression and 2 when the module
+// cannot be loaded cleanly (go list failure, parse error, or type error):
+// analyzers running over partial type information cannot promise complete
+// results, so a broken build is a hard error, not a silent downgrade.
+//
+// Findings can be suppressed, with a mandatory reason, by a comment on the
+// offending line or the line above it:
 //
 //	//kvell:lint-ignore <analyzer> <reason>
+//
+// A directive that suppresses nothing is itself reported as stale.
+//
+// With -json, diagnostics are written to stdout as a single JSON array (empty
+// array when clean) for editor and CI integration; the human-readable summary
+// and timing still go to stderr.
+//
+// The whole module is loaded once into one process — a single token.FileSet
+// and one shared export-data importer — so each dependency's type information
+// is built exactly once no matter how many packages import it. That cache is
+// what keeps a full-module lint well under the 30-second CI budget.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"kvell/internal/analysis"
 )
 
+// jsonDiag is the machine-readable diagnostic shape emitted by -json.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Hint     string `json:"hint,omitempty"`
+}
+
 func main() {
-	verbose := flag.Bool("v", false, "print per-package progress and type-check noise")
+	verbose := flag.Bool("v", false, "print per-package progress to stderr")
+	jsonOut := flag.Bool("json", false, "write diagnostics to stdout as a JSON array")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: kvell-lint [-v] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: kvell-lint [-v] [-json] [packages]\n\nanalyzers:\n")
 		for _, a := range analysis.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
 
+	loadStart := time.Now()
 	pkgs, err := analysis.LoadPackages(".", flag.Args())
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "kvell-lint: %v\n", err)
+		fmt.Fprintf(os.Stderr, "kvell-lint: cannot load packages: %v\n", err)
+		os.Exit(2)
+	}
+	loadTime := time.Since(loadStart)
+
+	// A module that does not type-check gets a hard error: analyzers would
+	// run over partial information and could silently miss findings.
+	typeErrs := 0
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "kvell-lint: %s: type error: %v\n", p.Path, e)
+			typeErrs++
+		}
+	}
+	if typeErrs > 0 {
+		fmt.Fprintf(os.Stderr, "kvell-lint: %d type error(s); fix the build before linting\n", typeErrs)
 		os.Exit(2)
 	}
 	if *verbose {
 		for _, p := range pkgs {
-			fmt.Fprintf(os.Stderr, "# %s (%d files, %d type errors)\n", p.Path, len(p.Files), len(p.TypeErrors))
-			for _, e := range p.TypeErrors {
-				fmt.Fprintf(os.Stderr, "#   type: %v\n", e)
-			}
+			fmt.Fprintf(os.Stderr, "# %s (%d files)\n", p.Path, len(p.Files))
 		}
 	}
 
+	analyzeStart := time.Now()
 	diags := analysis.Check(pkgs, analysis.All())
-	for _, d := range diags {
-		fmt.Println(d)
+	analyzeTime := time.Since(analyzeStart)
+
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Hint:     d.Hint,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "kvell-lint: encode: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
+
+	fmt.Fprintf(os.Stderr, "kvell-lint: %d package(s), load %s, analyze %s\n",
+		len(pkgs), loadTime.Round(time.Millisecond), analyzeTime.Round(time.Millisecond))
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "kvell-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		fmt.Fprintf(os.Stderr, "kvell-lint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
-	fmt.Printf("kvell-lint: %d packages clean\n", len(pkgs))
+	fmt.Fprintf(os.Stderr, "kvell-lint: %d packages clean\n", len(pkgs))
 }

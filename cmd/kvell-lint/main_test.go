@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"kvell/internal/analysis"
+)
+
+func sampleDiag() analysis.Diagnostic {
+	return analysis.Diagnostic{
+		Pos:      token.Position{Filename: "internal/sim/sim.go", Line: 42, Column: 7},
+		Analyzer: "spanclose",
+		Message:  "span from Tracer.Begin is never finished",
+		Hint:     "call Finish on every path",
+	}
+}
+
+// The GitHub problem matcher must parse exactly the first line of the text
+// output; if Diagnostic.String ever changes shape, this test names the two
+// places that have to move together.
+func TestProblemMatcherParsesTextOutput(t *testing.T) {
+	raw, err := os.ReadFile("../../.github/problem-matchers/kvell-lint.json")
+	if err != nil {
+		t.Fatalf("read matcher: %v", err)
+	}
+	var m struct {
+		ProblemMatcher []struct {
+			Owner   string
+			Pattern []struct {
+				Regexp string
+				File   int
+				Line   int
+				Column int
+				Code   int
+			}
+		}
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("parse matcher: %v", err)
+	}
+	if len(m.ProblemMatcher) != 1 || len(m.ProblemMatcher[0].Pattern) != 1 {
+		t.Fatalf("matcher shape changed: %+v", m)
+	}
+	p := m.ProblemMatcher[0].Pattern[0]
+	re, err := regexp.Compile(p.Regexp)
+	if err != nil {
+		t.Fatalf("matcher regexp does not compile: %v", err)
+	}
+
+	d := sampleDiag()
+	firstLine := strings.SplitN(d.String(), "\n", 2)[0]
+	sub := re.FindStringSubmatch(firstLine)
+	if sub == nil {
+		t.Fatalf("matcher regexp %q does not match %q", p.Regexp, firstLine)
+	}
+	if sub[p.File] != d.Pos.Filename {
+		t.Errorf("file group = %q, want %q", sub[p.File], d.Pos.Filename)
+	}
+	if sub[p.Line] != "42" || sub[p.Column] != "7" {
+		t.Errorf("line:col groups = %s:%s, want 42:7", sub[p.Line], sub[p.Column])
+	}
+	if sub[p.Code] != d.Analyzer {
+		t.Errorf("code group = %q, want analyzer %q", sub[p.Code], d.Analyzer)
+	}
+	// The hint continuation line must NOT look like a new finding.
+	if hint := "\tfix: " + d.Hint; re.MatchString(hint) {
+		t.Errorf("matcher regexp also matches the hint line %q", hint)
+	}
+	// The stale-suppression pseudo-analyzer must be matchable too.
+	stale := d
+	stale.Analyzer = "lint-ignore"
+	if sub := re.FindStringSubmatch(strings.SplitN(stale.String(), "\n", 2)[0]); sub == nil {
+		t.Error("matcher regexp does not match lint-ignore diagnostics")
+	}
+}
+
+func TestJSONDiagShape(t *testing.T) {
+	d := sampleDiag()
+	b, err := json.Marshal(jsonDiag{
+		File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+		Analyzer: d.Analyzer, Message: d.Message, Hint: d.Hint,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"file":"internal/sim/sim.go","line":42,"col":7,"analyzer":"spanclose",` +
+		`"message":"span from Tracer.Begin is never finished","hint":"call Finish on every path"}`
+	if string(b) != want {
+		t.Errorf("jsonDiag = %s\nwant      %s", b, want)
+	}
+	// hint is omitted when empty so tooling can key on its presence.
+	b, _ = json.Marshal(jsonDiag{File: "x.go", Line: 1, Col: 1, Analyzer: "norand", Message: "m"})
+	if strings.Contains(string(b), "hint") {
+		t.Errorf("empty hint not omitted: %s", b)
+	}
+}

@@ -99,7 +99,10 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 
 // All returns the registered analyzers in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoWallTime, NoRand, MapOrder, NoGoroutine, TraceTime}
+	return []*Analyzer{
+		NoWallTime, NoRand, MapOrder, NoGoroutine, TraceTime,
+		PoolEscape, SpanClose, ErrFlow, PtrLeak,
+	}
 }
 
 // ByName returns the registered analyzer with the given name.
@@ -119,6 +122,7 @@ const IgnoreDirective = "//kvell:lint-ignore"
 type suppression struct {
 	analyzer string
 	line     int // the directive's own line; it covers this line and the next
+	pos      token.Position
 }
 
 // parseSuppressions scans a file's comments for lint-ignore directives.
@@ -152,7 +156,7 @@ func parseSuppressions(fset *token.FileSet, f *ast.File, analyzers []*Analyzer) 
 					Message: fmt.Sprintf("suppression of %q has no reason", fields[0]),
 					Hint:    "state why the finding is safe: " + IgnoreDirective + " " + fields[0] + " <reason>"})
 			default:
-				sups = append(sups, suppression{analyzer: fields[0], line: pos.Line})
+				sups = append(sups, suppression{analyzer: fields[0], line: pos.Line, pos: pos})
 			}
 		}
 	}
@@ -169,32 +173,52 @@ func analyzerNames(as []*Analyzer) string {
 
 // Check runs every analyzer over every package, applies suppression
 // directives, and returns the surviving diagnostics sorted by position.
+// A directive that suppresses no finding is itself reported (under the
+// pseudo-analyzer "lint-ignore", which cannot be suppressed): stale
+// suppressions are how an ignore inventory rots as code moves.
 func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		// (analyzer, file, line) -> suppressed.
-		suppressed := make(map[string]map[int]bool)
+		// One entry per directive, shared by the two lines it covers, so
+		// usage on either line marks the directive live.
+		type supEntry struct {
+			stale Diagnostic
+			used  bool
+		}
+		var entries []*supEntry
+		// (analyzer, file, line) -> covering directive.
+		suppressed := make(map[string]map[int]*supEntry)
 		for _, f := range pkg.Files {
 			sups, bad := parseSuppressions(pkg.Fset, f, analyzers)
 			out = append(out, bad...)
 			file := pkg.Fset.Position(f.Pos()).Filename
 			for _, s := range sups {
+				e := &supEntry{stale: Diagnostic{Pos: s.pos, Analyzer: "lint-ignore",
+					Message: fmt.Sprintf("stale suppression: no %s finding on this or the next line", s.analyzer),
+					Hint:    "delete the directive (the code it excused is gone), or move it next to the offending line"}}
+				entries = append(entries, e)
 				key := s.analyzer + "\x00" + file
 				if suppressed[key] == nil {
-					suppressed[key] = make(map[int]bool)
+					suppressed[key] = make(map[int]*supEntry)
 				}
-				suppressed[key][s.line] = true
-				suppressed[key][s.line+1] = true
+				suppressed[key][s.line] = e
+				suppressed[key][s.line+1] = e
 			}
 		}
 		for _, a := range analyzers {
 			pass := &Pass{Analyzer: a, Pkg: pkg}
 			a.Run(pass)
 			for _, d := range pass.diags {
-				if m := suppressed[d.Analyzer+"\x00"+d.Pos.Filename]; m != nil && m[d.Pos.Line] {
+				if m := suppressed[d.Analyzer+"\x00"+d.Pos.Filename]; m != nil && m[d.Pos.Line] != nil {
+					m[d.Pos.Line].used = true
 					continue
 				}
 				out = append(out, d)
+			}
+		}
+		for _, e := range entries {
+			if !e.used {
+				out = append(out, e.stale)
 			}
 		}
 	}

@@ -80,6 +80,11 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"goroutine.go", "internal/engine/betree"},
 		{"suppress.go", "internal/core"},
 		{"tracetime.go", "internal/trace"},
+		{"poolescape.go", "internal/engine/lsm"},
+		{"spanclose.go", "internal/engine/wtree"},
+		{"errflow.go", "internal/sim"},
+		{"ptrleak.go", "internal/stats"},
+		{"edgecases.go", "internal/core"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrFlow guards the crash-consistency paths: an error returned from device
+// I/O (ReadPages / WritePages / Sync) or from a replay/recovery routine
+// (Replay*, Recover*) must be checked or explicitly discarded. These are
+// exactly the paths the crash-injection harness exercises — a dropped error
+// here turns an injected fault into silent data loss instead of a detected
+// one, and the runtime sweep only catches the schedules it happens to run.
+//
+// Accepted forms: using the call in an expression (return f(), g(f())),
+// binding the error and reading it afterwards, or assigning it to _ as an
+// explicit discard. Reported: a bare call statement, go/defer of the call,
+// and an error variable that is written but never read again.
+//
+// Test files are exempt: test assertions are their own error check.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "require errors from device I/O (ReadPages/WritePages/Sync) and replay/recovery paths to be checked or explicitly discarded",
+	Run:  runErrFlow,
+}
+
+// errFlowTarget returns the callee name if call is a guarded error source:
+// a ReadPages/WritePages/Sync method, or any function or method named
+// Replay*/Recover*, returning an error (alone or as the last result).
+func (p *Pass) errFlowTarget(call *ast.CallExpr) string {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return ""
+	}
+	isIO := name == "ReadPages" || name == "WritePages" || name == "Sync"
+	isRecovery := strings.HasPrefix(name, "Replay") || strings.HasPrefix(name, "Recover")
+	if !isIO && !isRecovery {
+		return ""
+	}
+	if isIO {
+		// Device I/O is always a method on a store/disk value.
+		if _, ok := call.Fun.(*ast.SelectorExpr); !ok {
+			return ""
+		}
+	}
+	tv, ok := p.Pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 || t.At(t.Len()-1).Type().String() != "error" {
+			return ""
+		}
+	default:
+		if t.String() != "error" {
+			return ""
+		}
+	}
+	return name
+}
+
+func runErrFlow(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		funcBodies(f, func(body *ast.BlockStmt, decl ast.Node) {
+			checkErrFlow(pass, body)
+		})
+	}
+}
+
+const errFlowHint = "handle the error (propagate or recover), or write `_ = call // reason` to discard it deliberately"
+
+func checkErrFlow(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	uses := objUses(info, body)
+
+	// checkAssign validates one `... , err = target(...)` binding: the
+	// error variable must be read again after the assignment. A later
+	// write in the same statement list is a straight-line overwrite and is
+	// reported; a write in a sibling branch (another if-arm or switch
+	// case) is not on this path, so the scan keeps looking for a read.
+	checkAssign := func(a *ast.AssignStmt, lhs ast.Expr, name string) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return // stored into a field/slot: someone else's to check
+		}
+		if id.Name == "_" {
+			return // explicit discard
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		home := innermostList(body, a.Pos())
+		for _, u := range uses[obj] {
+			if u.pos <= a.End() {
+				continue
+			}
+			if u.kind == useRead {
+				return
+			}
+			if innermostList(body, u.pos) == home {
+				pass.Reportf(a.Pos(), errFlowHint,
+					"error from %s is assigned to %s but overwritten before being checked", name, id.Name)
+				return
+			}
+		}
+		pass.Reportf(a.Pos(), errFlowHint,
+			"error from %s is assigned to %s but never checked", name, id.Name)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != ast.Node(body) {
+			return false // literals are checked as their own unit
+		}
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if name := pass.errFlowTarget(call); name != "" {
+					pass.Reportf(call.Pos(), errFlowHint,
+						"error returned by %s is dropped", name)
+				}
+			}
+		case *ast.GoStmt:
+			if name := pass.errFlowTarget(n.Call); name != "" {
+				pass.Reportf(n.Call.Pos(), errFlowHint,
+					"error returned by %s is discarded by the go statement", name)
+			}
+		case *ast.DeferStmt:
+			if name := pass.errFlowTarget(n.Call); name != "" {
+				pass.Reportf(n.Call.Pos(), errFlowHint,
+					"error returned by %s is discarded by the defer statement", name)
+			}
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				call, ok := r.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				name := pass.errFlowTarget(call)
+				if name == "" {
+					continue
+				}
+				if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+					// n, err := Replay(...): the error is the last result.
+					checkAssign(n, n.Lhs[len(n.Lhs)-1], name)
+				} else if i < len(n.Lhs) {
+					checkAssign(n, n.Lhs[i], name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,396 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file holds the lightweight intra-procedural dataflow machinery shared
+// by the invariant analyzers (poolescape, spanclose, errflow). It is
+// deliberately simpler than a full SSA/CFG framework: Go's structured
+// control flow (if/for/range/switch/select, break/continue/return) is walked
+// recursively with an abstract state, and the rare unstructured constructs
+// (goto, labeled branches) make the enclosing check bail out conservatively
+// — silence, never a false positive.
+
+// funcBodies calls fn for every function body in the file: declarations and
+// function literals. Each body is presented once; literals nested inside a
+// declaration are also presented on their own.
+func funcBodies(f *ast.File, fn func(body *ast.BlockStmt, decl ast.Node)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body, n)
+			}
+		case *ast.FuncLit:
+			fn(n.Body, n)
+		}
+		return true
+	})
+}
+
+// ancestors returns the chain of nodes from root down to target, inclusive,
+// or nil when target is not in root's subtree.
+func ancestors(root, target ast.Node) []ast.Node {
+	var stack, found []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if n == target {
+			found = append([]ast.Node{}, stack...)
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// namedTypeName returns the name of the (possibly pointer-wrapped) named
+// type of t, or "".
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	// Unwrap aliases but not defined types.
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// recvTypeName resolves the named type of a method call's receiver, e.g.
+// "Tracer" for tr.BeginBg(...). Works from type info alone, so local
+// stand-in types in fixtures resolve exactly like the real ones.
+func (p *Pass) recvTypeName(sel *ast.SelectorExpr) string {
+	if s, ok := p.Pkg.Info.Selections[sel]; ok {
+		return namedTypeName(s.Recv())
+	}
+	return ""
+}
+
+// useKind classifies an identifier occurrence.
+type useKind uint8
+
+const (
+	useRead useKind = iota
+	useWrite
+)
+
+// objUse is one occurrence of a variable, in source order.
+type objUse struct {
+	pos  token.Pos
+	kind useKind
+}
+
+// objUses collects every occurrence of variables inside root, classified as
+// read or write (assignment LHS, range variables). The per-object slices
+// come out in source order because ast.Inspect visits in source order.
+func objUses(info *types.Info, root ast.Node) map[types.Object][]objUse {
+	writes := make(map[*ast.Ident]bool)
+	markWrite := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			writes[id] = true
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				markWrite(l)
+			}
+		case *ast.RangeStmt:
+			markWrite(n.Key)
+			if n.Value != nil {
+				markWrite(n.Value)
+			}
+		case *ast.IncDecStmt:
+			markWrite(n.X)
+		}
+		return true
+	})
+	uses := make(map[types.Object][]objUse)
+	ast.Inspect(root, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+			if obj == nil {
+				return true
+			}
+			// A Def is a write by definition (:=, func params are not
+			// interesting here but harmless).
+			uses[obj] = append(uses[obj], objUse{id.Pos(), useWrite})
+			return true
+		}
+		k := useRead
+		if writes[id] {
+			k = useWrite
+		}
+		uses[obj] = append(uses[obj], objUse{id.Pos(), k})
+		return true
+	})
+	return uses
+}
+
+// innermostList returns the innermost statement-list holder (block, case or
+// comm clause) in body that contains pos. Two positions in the same list are
+// on one straight-line path; positions in sibling branches are not.
+func innermostList(body *ast.BlockStmt, pos token.Pos) ast.Node {
+	var best ast.Node = body
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		switch n.(type) {
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			if n.Pos() <= pos && pos < n.End() {
+				best = n
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// exit is one control-flow exit (break/continue) bubbling out of a walked
+// region, with the abstract closed-state along that path.
+type exit struct {
+	pos    token.Pos
+	closed bool
+}
+
+// flowOut is the outcome of abstractly executing a statement (or list).
+type flowOut struct {
+	fall   bool // control can reach the point just after
+	closed bool // if fall: the tracked value is closed on every falling path
+	brks   []exit
+	conts  []exit
+}
+
+// closeFlow checks that a tracked value is "closed" on every path from a
+// start point to every exit. The client provides stmtEvent, which inspects
+// one simple statement (or the non-body parts of a compound one) and
+// reports whether it closes the value and/or exits early. Labeled
+// statements and goto abort the whole check (aborted is set).
+type closeFlow struct {
+	// event reports whether the node subtree contains a closing event for
+	// the tracked value. It is called on simple statements and on the
+	// init/cond parts of compound ones.
+	event func(ast.Node) bool
+	// rebind, if non-nil, is called when a statement overwrites the tracked
+	// variable while the closed-state is open.
+	rebind func(stmt *ast.AssignStmt)
+	// onOpenReturn is called for each return reached with the value open.
+	onOpenReturn func(*ast.ReturnStmt)
+	// isRebind reports whether this assignment overwrites the tracked var.
+	isRebind func(*ast.AssignStmt) bool
+
+	aborted bool
+}
+
+func (cf *closeFlow) scan(n ast.Node, closed bool) bool {
+	if n == nil || cf.event == nil {
+		return closed
+	}
+	if cf.event(n) {
+		return true
+	}
+	return closed
+}
+
+// walkList abstractly executes a statement list with entry state closed.
+func (cf *closeFlow) walkList(list []ast.Stmt, closed bool) flowOut {
+	out := flowOut{fall: true, closed: closed}
+	for _, s := range list {
+		if !out.fall || cf.aborted {
+			break
+		}
+		so := cf.walkStmt(s, out.closed)
+		out.brks = append(out.brks, so.brks...)
+		out.conts = append(out.conts, so.conts...)
+		out.fall = so.fall
+		out.closed = so.closed
+	}
+	return out
+}
+
+// mergeBranches combines alternative branch outcomes (if/else, switch
+// cases): control falls through when any branch falls, and the value is
+// closed only when every falling branch closed it.
+func mergeBranches(outs ...flowOut) flowOut {
+	m := flowOut{closed: true}
+	for _, o := range outs {
+		if o.fall {
+			m.fall = true
+			m.closed = m.closed && o.closed
+		}
+		m.brks = append(m.brks, o.brks...)
+		m.conts = append(m.conts, o.conts...)
+	}
+	return m
+}
+
+// loopOut resolves a loop body's outcome into the state after the loop.
+// mayskip says the body can execute zero times (cond / range loops).
+// Continues are iteration-internal and do not affect the exit state; the
+// caller consumes them.
+func loopOut(entry bool, body flowOut, mayskip bool) flowOut {
+	out := flowOut{}
+	if mayskip {
+		// Exit via the condition: either without entering (entry state) or
+		// after an iteration whose body fell through (body state).
+		out.fall = true
+		out.closed = entry
+		if body.fall {
+			out.closed = out.closed && body.closed
+		}
+	}
+	if len(body.brks) > 0 {
+		all := true
+		for _, b := range body.brks {
+			all = all && b.closed
+		}
+		if out.fall {
+			out.closed = out.closed && all
+		} else {
+			out.fall, out.closed = true, all
+		}
+	}
+	return out
+}
+
+func (cf *closeFlow) walkStmt(s ast.Stmt, closed bool) flowOut {
+	if cf.aborted {
+		return flowOut{fall: true, closed: closed}
+	}
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		closed = cf.scan(s, closed)
+		if !closed && cf.onOpenReturn != nil {
+			cf.onOpenReturn(s)
+		}
+		return flowOut{}
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				cf.aborted = true
+				return flowOut{}
+			}
+			return flowOut{brks: []exit{{s.Pos(), closed}}}
+		case token.CONTINUE:
+			if s.Label != nil {
+				cf.aborted = true
+				return flowOut{}
+			}
+			return flowOut{conts: []exit{{s.Pos(), closed}}}
+		default: // goto, fallthrough
+			cf.aborted = true
+			return flowOut{}
+		}
+	case *ast.LabeledStmt:
+		cf.aborted = true
+		return flowOut{}
+	case *ast.BlockStmt:
+		return cf.walkList(s.List, closed)
+	case *ast.IfStmt:
+		closed = cf.scan(s.Init, closed)
+		closed = cf.scan(s.Cond, closed)
+		then := cf.walkStmt(s.Body, closed)
+		els := flowOut{fall: true, closed: closed}
+		if s.Else != nil {
+			els = cf.walkStmt(s.Else, closed)
+		}
+		return mergeBranches(then, els)
+	case *ast.ForStmt:
+		closed = cf.scan(s.Init, closed)
+		closed = cf.scan(s.Cond, closed)
+		body := cf.walkStmt(s.Body, closed)
+		body.closed = cf.scan(s.Post, body.closed)
+		lo := loopOut(closed, body, s.Cond != nil)
+		lo.conts = nil // consumed by this loop
+		return lo
+	case *ast.RangeStmt:
+		closed = cf.scan(s.X, closed)
+		body := cf.walkStmt(s.Body, closed)
+		lo := loopOut(closed, body, true)
+		lo.conts = nil
+		return lo
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var init, tag ast.Node
+		var clauses []ast.Stmt
+		hasDefault := false
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init, tag, clauses = sw.Init, sw.Tag, sw.Body.List
+		case *ast.TypeSwitchStmt:
+			init, tag, clauses = sw.Init, sw.Assign, sw.Body.List
+		case *ast.SelectStmt:
+			clauses = sw.Body.List
+		}
+		closed = cf.scan(init, closed)
+		closed = cf.scan(tag, closed)
+		var outs []flowOut
+		for _, cl := range clauses {
+			var body []ast.Stmt
+			switch cl := cl.(type) {
+			case *ast.CaseClause:
+				if cl.List == nil {
+					hasDefault = true
+				}
+				for _, e := range cl.List {
+					closed = cf.scan(e, closed)
+				}
+				body = cl.Body
+			case *ast.CommClause:
+				if cl.Comm == nil {
+					hasDefault = true
+				} else {
+					closed = cf.scan(cl.Comm, closed)
+				}
+				body = cl.Body
+			}
+			co := cf.walkList(body, closed)
+			// Unlabeled break inside a case exits the switch: fold into the
+			// case's fall-through outcome.
+			for _, b := range co.brks {
+				co.fall = true
+				co.closed = co.closed && b.closed
+			}
+			co.brks = nil
+			outs = append(outs, co)
+		}
+		if !hasDefault {
+			outs = append(outs, flowOut{fall: true, closed: closed})
+		}
+		return mergeBranches(outs...)
+	case *ast.AssignStmt:
+		if cf.isRebind != nil && cf.isRebind(s) {
+			if !closed && cf.rebind != nil {
+				cf.rebind(s)
+			}
+			// The old value's fate was just reported (or it was closed);
+			// treat the slot as fresh so errors do not cascade.
+			return flowOut{fall: true, closed: true}
+		}
+		return flowOut{fall: true, closed: cf.scan(s, closed)}
+	default:
+		// Simple statements: expression, send, defer, go, decl, incdec,
+		// empty. Scan the whole subtree for closing events.
+		return flowOut{fall: true, closed: cf.scan(s, closed)}
+	}
+}

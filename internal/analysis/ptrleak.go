@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// fmtPrintFuncs are the fmt functions whose arguments end up rendered into
+// output.
+var fmtPrintFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Errorf": true, "Appendf": true, "Append": true, "Appendln": true,
+}
+
+// PtrLeak forbids pointer addresses from reaching output, digests, or map
+// keys. Addresses change run to run (ASLR, allocator state), so a %p — or a
+// pointer-valued argument rendered by %v, or a uintptr derived from a
+// pointer — poisons the golden FNV digests and log diffs that the whole
+// reproduction is verified against. uintptr / unsafe.Pointer map keys are
+// the same hazard one step removed: the key set becomes run-dependent.
+//
+// Test files are exempt (t.Logf of a pointer is ugly but harmless).
+var PtrLeak = &Analyzer{
+	Name: "ptrleak",
+	Doc:  "forbid %p / pointer-valued formatting and pointer-derived uintptr values feeding output, digests, or map keys",
+	Run:  runPtrLeak,
+}
+
+const ptrLeakHint = "print a stable identifier instead (an index, a name, a sequence number); pointer addresses differ between runs"
+
+func runPtrLeak(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkPtrLeakCall(pass, n)
+			case *ast.MapType:
+				if tv, ok := pass.Pkg.Info.Types[n.Key]; ok && isAddrBasic(tv.Type) {
+					pass.Reportf(n.Key.Pos(),
+						"key the map by a stable identity (index, id, name) instead of an address",
+						"map keyed by %s: pointer-derived keys make contents and iteration run-dependent", tv.Type.String())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isAddrBasic reports whether t is uintptr or unsafe.Pointer.
+func isAddrBasic(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uintptr || b.Kind() == types.UnsafePointer)
+}
+
+// isAddrValued reports whether a value of type t renders as an address
+// under %v/%p: pointers, unsafe.Pointer, channels and funcs.
+func isAddrValued(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Signature:
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return true
+	}
+	return false
+}
+
+// hasStringer reports whether t (or *t) implements fmt.Stringer, error, or
+// fmt.Formatter — in which case fmt renders it via the method, not as an
+// address.
+func hasStringer(pass *Pass, t types.Type) bool {
+	for _, name := range [...]string{"String", "Error", "Format"} {
+		if obj, _, _ := types.LookupFieldOrMethod(t, true, pass.Pkg.Types, name); obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkPtrLeakCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+
+	// A pointer verb in any string literal argument of any call: the
+	// callee is either a formatter or forwards to one. (The verb is
+	// spelled via concatenation so this file does not flag itself.)
+	const ptrVerb = "%" + "p"
+	for _, a := range call.Args {
+		if lit, ok := a.(*ast.BasicLit); ok && lit.Kind.String() == "STRING" &&
+			strings.Contains(lit.Value, ptrVerb) {
+			pass.Reportf(lit.Pos(), ptrLeakHint,
+				"format string uses the pointer verb %s; the printed address changes every run", ptrVerb)
+		}
+	}
+
+	// uintptr(p) conversion from a pointer: manufactures an address as an
+	// integer, which then flows anywhere (digests, keys, output) unseen.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.Uintptr {
+			if atv, ok := info.Types[call.Args[0]]; ok && isAddrValued(atv.Type) {
+				pass.Reportf(call.Pos(), ptrLeakHint,
+					"uintptr conversion of a pointer produces a run-dependent value")
+			}
+		}
+	}
+
+	// Pointer-valued arguments to fmt print functions render as addresses
+	// (via %v or bare Print) unless the type formats itself.
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || pass.SelectorPkg(sel) != "fmt" || !fmtPrintFuncs[sel.Sel.Name] {
+		return
+	}
+	args := call.Args
+	if strings.HasPrefix(sel.Sel.Name, "Fprint") || strings.HasPrefix(sel.Sel.Name, "Append") {
+		// The destination (io.Writer / []byte) is not a formatted value.
+		if len(args) > 0 {
+			args = args[1:]
+		}
+	}
+	for _, a := range args {
+		tv, ok := info.Types[a]
+		if !ok || !isAddrValued(tv.Type) {
+			continue
+		}
+		if hasStringer(pass, tv.Type) {
+			continue
+		}
+		pass.Reportf(a.Pos(), ptrLeakHint,
+			"pointer-valued argument of type %s to fmt.%s renders as a run-dependent address", tv.Type.String(), sel.Sel.Name)
+	}
+}

@@ -1,0 +1,429 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanClose verifies trace-span hygiene: every span context obtained from
+// Tracer.Begin/BeginBg must be finished (Finish/FinishBg) on every path out
+// of the function that began it, or have its ownership explicitly handed
+// off (stored into a struct field/map/global, sent on a channel, returned,
+// captured by a closure, or passed to another function). A context that is
+// begun and never finished is pooled memory that never returns to the
+// tracer's free list, its components never fold into the breakdown, and —
+// because the trace digest covers every finished request — a leaked span
+// silently narrows attribution coverage without failing any runtime check.
+//
+// The check is an intra-procedural dataflow walk over Go's structured
+// control flow: each return, loop-iteration boundary and fall-off-the-end
+// path from the begin must pass a finishing or ownership-transferring
+// event. c.SetTrace(ctx) attaches the context for attribution but does NOT
+// transfer ownership, so it never counts as a close. goto and labeled
+// branches abort the check for that span (conservatively silent).
+var SpanClose = &Analyzer{
+	Name: "spanclose",
+	Doc:  "require every trace span Begin/BeginBg to be Finished on all return paths (or explicitly handed off)",
+	Run:  runSpanClose,
+}
+
+func runSpanClose(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue // tests may deliberately hold spans open
+		}
+		funcBodies(f, func(body *ast.BlockStmt, decl ast.Node) {
+			checkSpans(pass, body)
+		})
+	}
+}
+
+// isBeginCall reports whether call is Tracer.Begin or Tracer.BeginBg.
+func isBeginCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Begin" && sel.Sel.Name != "BeginBg") {
+		return false
+	}
+	return pass.recvTypeName(sel) == "Tracer"
+}
+
+// spanBegin is one tracked Begin whose result is bound to a local variable.
+type spanBegin struct {
+	obj  types.Object
+	stmt *ast.AssignStmt
+	call *ast.CallExpr
+	name string // "Begin" or "BeginBg"
+}
+
+func checkSpans(pass *Pass, body *ast.BlockStmt) {
+	var begins []spanBegin
+
+	// Locate Begin/BeginBg calls directly in this function body (nested
+	// literals are analyzed as their own units by funcBodies).
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok && len(stack) > 0 {
+			return false
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBeginCall(pass, call) {
+			return true
+		}
+		name := call.Fun.(*ast.SelectorExpr).Sel.Name
+		parent := ast.Node(nil)
+		if len(stack) >= 2 {
+			parent = stack[len(stack)-2]
+		}
+		switch p := parent.(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(),
+				"bind the context and Finish it on every path, or delete the call",
+				"result of Tracer.%s is discarded; the span can never be finished", name)
+		case *ast.AssignStmt:
+			// Match the call to its LHS (Begin returns one value, so the
+			// positions correspond one to one in a parallel assignment).
+			for i, r := range p.Rhs {
+				if r != ast.Expr(call) || i >= len(p.Lhs) {
+					continue
+				}
+				switch lhs := p.Lhs[i].(type) {
+				case *ast.Ident:
+					if lhs.Name == "_" {
+						pass.Reportf(call.Pos(),
+							"bind the context and Finish it on every path, or delete the call",
+							"result of Tracer.%s is assigned to _; the span can never be finished", name)
+						break
+					}
+					obj := pass.Pkg.Info.Defs[lhs]
+					if obj == nil {
+						obj = pass.Pkg.Info.Uses[lhs]
+					}
+					if obj != nil {
+						begins = append(begins, spanBegin{obj: obj, stmt: p, call: call, name: name})
+					}
+				default:
+					// Stored straight into a field/map/global: ownership is
+					// handed to whoever finishes it (e.g. the harness wires
+					// r.Trace and the Done wrapper finishes it).
+				}
+			}
+		case *ast.CallExpr:
+			// tr.Begin(...) passed directly as an argument. SetTrace only
+			// attaches for attribution — nothing holds the context, so
+			// nobody can ever finish it.
+			if sel, ok := p.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "SetTrace" {
+				pass.Reportf(call.Pos(),
+					"bind the context first: ctx := tr."+name+"(...); c.SetTrace(ctx); ... tr.Finish"+
+						"(ctx, end)",
+					"result of Tracer.%s passed to SetTrace without being retained; the span can never be finished", name)
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+
+	for _, b := range begins {
+		checkSpanFlow(pass, body, b)
+	}
+}
+
+// isObjIdent reports whether e (unparenthesized) is an identifier bound to obj.
+func isObjIdent(pass *Pass, e ast.Expr, obj types.Object) bool {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && pass.Pkg.Info.Uses[id] == obj
+}
+
+// mentionsObj reports whether any identifier under n is bound to obj.
+func mentionsObj(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func checkSpanFlow(pass *Pass, body *ast.BlockStmt, b spanBegin) {
+	// Ownership transfers that satisfy the check for the whole function:
+	// the context is captured by a closure (which can finish it later) or
+	// a deferred call receives it (the defer runs on every path).
+	satisfied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if satisfied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if mentionsObj(pass, n, b.obj) {
+				satisfied = true
+			}
+			return false
+		case *ast.DeferStmt:
+			for _, a := range n.Call.Args {
+				if isObjIdent(pass, a, b.obj) {
+					satisfied = true
+				}
+			}
+		}
+		return true
+	})
+	if satisfied {
+		return
+	}
+
+	// closeEvent: does this subtree finish the span or transfer ownership?
+	closeEvent := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false // captures were handled above
+			case *ast.CallExpr:
+				sel, _ := m.Fun.(*ast.SelectorExpr)
+				for _, a := range m.Args {
+					if !isObjIdent(pass, a, b.obj) {
+						continue
+					}
+					if sel != nil && sel.Sel.Name == "SetTrace" {
+						continue // attach-only: ownership stays here
+					}
+					found = true // Finish/FinishBg or handoff to a callee
+					return false
+				}
+			case *ast.AssignStmt:
+				for _, r := range m.Rhs {
+					if isObjIdent(pass, r, b.obj) {
+						found = true // aliased or stored: ownership moves
+						return false
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range m.Results {
+					if isObjIdent(pass, r, b.obj) {
+						found = true
+						return false
+					}
+				}
+			case *ast.SendStmt:
+				if isObjIdent(pass, m.Value, b.obj) {
+					found = true
+					return false
+				}
+			case *ast.CompositeLit:
+				for _, e := range m.Elts {
+					v := e
+					if kv, ok := e.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if isObjIdent(pass, v, b.obj) {
+						found = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	hint := "finish the span on every path (defer tr.Finish" + suffixBg(b.name) +
+		"(ctx, ...) or an explicit call before each return)"
+
+	cf := &closeFlow{
+		event: closeEvent,
+		isRebind: func(a *ast.AssignStmt) bool {
+			if a == b.stmt {
+				return false
+			}
+			for _, l := range a.Lhs {
+				if id, ok := l.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == b.obj {
+					return true
+				}
+			}
+			return false
+		},
+		rebind: func(a *ast.AssignStmt) {
+			pass.Reportf(a.Pos(), hint,
+				"span context from Tracer.%s is overwritten before being finished", b.name)
+		},
+		onOpenReturn: func(r *ast.ReturnStmt) {
+			pass.Reportf(r.Pos(), hint,
+				"return path does not finish the span begun by Tracer.%s at line %d",
+				b.name, pass.Pkg.Fset.Position(b.call.Pos()).Line)
+		},
+	}
+
+	chain := ancestors(body, b.stmt)
+	if chain == nil {
+		return
+	}
+	// Begin in a statement position only: `if ctx := tr.Begin(); ...` style
+	// init-clauses are rare and skipped conservatively.
+	if len(chain) >= 2 {
+		if _, ok := chain[len(chain)-2].(*ast.IfStmt); ok {
+			return
+		}
+		if _, ok := chain[len(chain)-2].(*ast.ForStmt); ok {
+			return
+		}
+	}
+
+	// Ascend from the begin statement through the enclosing lists, walking
+	// the remainder of each list and resolving loop/switch boundaries.
+	st := flowOut{fall: true, closed: false}
+	reported := false
+	report := func(pos token.Pos, format string, args ...any) {
+		pass.Reportf(pos, hint, format, args...)
+		reported = true
+	}
+	for i := len(chain) - 2; i >= 0 && !cf.aborted && !reported; i-- {
+		parent := chain[i]
+		child := chain[i+1]
+		var list []ast.Stmt
+		switch p := parent.(type) {
+		case *ast.BlockStmt:
+			// A switch/select body's direct children are case clauses, not
+			// sequential statements; handled at the CaseClause level below.
+			if i > 0 {
+				switch chain[i-1].(type) {
+				case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+					continue
+				}
+			}
+			list = p.List
+		case *ast.CaseClause:
+			list = p.Body
+		case *ast.CommClause:
+			list = p.Body
+		default:
+			continue
+		}
+		if st.fall {
+			idx := -1
+			for j, s := range list {
+				if ast.Node(s) == child {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				return // not found (should not happen); stay silent
+			}
+			out := cf.walkList(list[idx+1:], st.closed)
+			st.fall, st.closed = out.fall, out.closed
+			st.brks = append(st.brks, out.brks...)
+			st.conts = append(st.conts, out.conts...)
+		}
+		if cf.aborted || reported {
+			return
+		}
+		// Resolve the construct that owns this list. A case/comm clause's
+		// chain parent is the switch's body block; the owning construct is
+		// the switch itself, one level further up.
+		owner := ast.Node(nil)
+		switch parent.(type) {
+		case *ast.CaseClause, *ast.CommClause:
+			if i >= 2 {
+				owner = chain[i-2]
+			}
+		default:
+			if i > 0 {
+				owner = chain[i-1]
+			}
+		}
+		switch owner.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			// Iteration boundary: falling off the body or continuing with
+			// the span open means the next iteration re-begins over a
+			// never-finished context.
+			if st.fall && !st.closed {
+				report(b.call.Pos(),
+					"span begun by Tracer.%s may reach the end of the loop body unfinished", b.name)
+			}
+			for _, c := range st.conts {
+				if !c.closed {
+					report(c.pos,
+						"continue path does not finish the span begun by Tracer.%s at line %d",
+						b.name, pass.Pkg.Fset.Position(b.call.Pos()).Line)
+				}
+			}
+			if reported {
+				return
+			}
+			// Exits of the loop: breaks, plus the condition path when the
+			// loop has one. Their merged state continues after the loop.
+			mayCondExit := true
+			if f, ok := owner.(*ast.ForStmt); ok && f.Cond == nil {
+				mayCondExit = false
+			}
+			next := flowOut{}
+			if mayCondExit && st.fall {
+				next.fall, next.closed = true, st.closed
+			}
+			if len(st.brks) > 0 {
+				all := true
+				for _, bk := range st.brks {
+					all = all && bk.closed
+				}
+				if next.fall {
+					next.closed = next.closed && all
+				} else {
+					next.fall, next.closed = true, all
+				}
+			}
+			if !next.fall {
+				return // loop never exits normally; all paths accounted for
+			}
+			st = next
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// Falling out of a case (or an unlabeled break) exits the switch.
+			next := flowOut{fall: st.fall, closed: st.closed}
+			for _, bk := range st.brks {
+				if next.fall {
+					next.closed = next.closed && bk.closed
+				} else {
+					next.fall, next.closed = true, bk.closed
+				}
+			}
+			next.conts = st.conts // continues target an outer loop
+			st = next
+		default:
+			if i == 0 {
+				// End of the function body: an implicit return.
+				if st.fall && !st.closed {
+					report(body.Rbrace,
+						"function can return without finishing the span begun by Tracer.%s at line %d",
+						b.name, pass.Pkg.Fset.Position(b.call.Pos()).Line)
+				}
+				return
+			}
+			// If/blocks: control joins the surrounding list; keep state.
+		}
+	}
+}
+
+func suffixBg(name string) string {
+	if name == "BeginBg" {
+		return "Bg"
+	}
+	return ""
+}

@@ -1,0 +1,109 @@
+// Edge-case fixture: generics, method values, deferred closures, and
+// multi-return assignments must neither crash the analyzers nor slip past
+// them. Exercises the dataflow analyzers plus nowalltime/norand/maporder in
+// these constructs; the remaining analyzers have dedicated fixtures.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type Arena struct{}
+
+func (a *Arena) Alloc(n int) []byte { return make([]byte, n) }
+
+type holder struct{ buf []byte }
+
+type Ctx struct{}
+
+type Tracer struct{}
+
+func (t *Tracer) Begin(op int, now int64) *Ctx        { return &Ctx{} }
+func (t *Tracer) BeginBg(name string, now int64) *Ctx { return &Ctx{} }
+func (t *Tracer) Finish(c *Ctx, end int64)            {}
+func (t *Tracer) FinishBg(c *Ctx, end int64)          {}
+
+type store struct{}
+
+func (s *store) Sync() error { return nil }
+
+// --- generics: analyzers see through type parameters ---
+
+func measure[T any](v T) T {
+	_ = time.Now() // want nowalltime
+	return v
+}
+
+type box[T any] struct{ item T }
+
+func (b *box[T]) put(a *Arena, h *holder) {
+	h.buf = a.Alloc(1) // want poolescape
+}
+
+func keysOf[K comparable, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m { // want maporder
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- method values ---
+
+func randMethodValue() func(int) int {
+	return rand.Intn // want norand
+}
+
+// A Finish method value still closes the span it is called with.
+func finishViaMethodValue(tr *Tracer, now int64) {
+	ctx := tr.Begin(1, now)
+	fin := tr.Finish
+	fin(ctx, now)
+}
+
+// Known limit, pinned by this test: an error-returning method bound to a
+// method value is not tracked (the call site no longer names Sync).
+func syncMethodValue(s *store) {
+	syncIt := s.Sync
+	syncIt()
+}
+
+// --- deferred closures ---
+
+func deferredCapture(tr *Tracer, now int64) error {
+	ctx := tr.BeginBg("ckpt", now)
+	defer func() { tr.FinishBg(ctx, now) }()
+	return nil
+}
+
+// The closure body is its own analysis unit: a bare drop inside it is
+// still a drop, and a format leak is still a leak.
+func deferredDrop(s *store, p *int) {
+	defer func() {
+		s.Sync()                 // want errflow
+		fmt.Printf("done %v", p) // want ptrleak
+	}()
+}
+
+// --- multi-return and parallel assignment ---
+
+func parallelAssign(s *store) {
+	a, b := s.Sync(), s.Sync() // want errflow
+	if a != nil {
+		panic(a)
+	}
+	// b is never read: the unused-variable type error is tolerated by the
+	// fixture checker, and errflow reports the dropped error above.
+}

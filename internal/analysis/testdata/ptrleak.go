@@ -1,0 +1,51 @@
+// ptrleak fixture: pointer addresses must not reach output, digests, or
+// map keys — they differ run to run and would poison golden digests.
+package fixture
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+type ided struct{ n int }
+
+func (i *ided) String() string { return "ided" }
+
+func formatVerb(p *int) {
+	fmt.Printf("at %p\n", p) // want ptrleak ptrleak
+}
+
+func pointerArg(p *int, ch chan int) {
+	fmt.Println(p)            // want ptrleak
+	s := fmt.Sprintf("%v", p) // want ptrleak
+	_ = s
+	fmt.Print(ch) // want ptrleak
+}
+
+func addrAsInt(p *int) uintptr {
+	u := uintptr(unsafe.Pointer(p)) // want ptrleak
+	return u
+}
+
+var byAddr map[uintptr]int // want ptrleak
+
+func keyed(p *int) {
+	m := map[unsafe.Pointer]bool{} // want ptrleak
+	m[unsafe.Pointer(p)] = true
+}
+
+// --- negative cases ---
+
+func fine(p *int, i *ided, w *writerT) {
+	fmt.Printf("%d items\n", 3)
+	fmt.Println(*p)          // dereferenced value, not an address
+	fmt.Println(i)           // has a String method: prints "ided"
+	fmt.Fprintf(w, "%d", *p) // the writer destination is not formatted
+	_ = uintptr(16)          // integer, not an address
+	m := map[string]int{}
+	m["k"] = 1
+}
+
+type writerT struct{}
+
+func (w *writerT) Write(b []byte) (int, error) { return len(b), nil }

@@ -10,12 +10,13 @@ func suppressedInline() time.Time {
 	return time.Now() //kvell:lint-ignore nowalltime fixture: suppressed on the same line
 }
 
-// A suppression for one analyzer does not silence another.
+// A suppression for one analyzer does not silence another — and having
+// silenced nothing, it is itself reported as stale.
 //
-//kvell:lint-ignore norand fixture: wrong analyzer on purpose
+//kvell:lint-ignore norand fixture: wrong analyzer on purpose // want lint-ignore
 func wrongAnalyzer() time.Time { return time.Now() } // want nowalltime
 
-// A suppression two lines up is out of range.
-//kvell:lint-ignore nowalltime fixture: too far away
+// A suppression two lines up is out of range, so it is stale too.
+//kvell:lint-ignore nowalltime fixture: too far away // want lint-ignore
 
 func tooFar() time.Time { return time.Now() } // want nowalltime

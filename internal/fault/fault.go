@@ -85,7 +85,8 @@ func NewInjector(s *sim.Sim, cfg Config) *Injector {
 	return &Injector{
 		s:   s,
 		cfg: cfg,
-		//kvell:lint-ignore norand seeded from Config.Seed; the whole point of this RNG is a reproducible crash schedule
+		// Seeded from Config.Seed: the whole point of this RNG is a
+		// reproducible crash schedule.
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
 }

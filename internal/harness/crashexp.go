@@ -146,7 +146,8 @@ func RunCrash(spec CrashSpec) (CrashResult, error) {
 	for ci := 0; ci < spec.Clients; ci++ {
 		ci := ci
 		e1.Go(fmt.Sprintf("crash-client-%d", ci), func(c env.Ctx) {
-			//kvell:lint-ignore norand seeded from the crash spec; the client schedule is part of the reproducible crash schedule
+			// Seeded from the crash spec: the client schedule is part of
+			// the reproducible crash schedule.
 			rng := rand.New(rand.NewSource(spec.Seed*7919 + int64(ci)))
 			lo := int64(ci) * spec.Records / int64(spec.Clients)
 			hi := (int64(ci) + 1) * spec.Records / int64(spec.Clients)
@@ -372,7 +373,7 @@ type SweepOpts struct {
 // seed: the per-run seed and the write index to die at. Exposed so a
 // failure can be reproduced by index.
 func SweepPoint(seed int64, i int) (pointSeed, atWrite int64) {
-	//kvell:lint-ignore norand seeded from the sweep's master seed; derivation must be reproducible
+	// Seeded from the sweep's master seed: derivation must be reproducible.
 	rng := rand.New(rand.NewSource(seed * 31337))
 	atWrite = 0
 	pointSeed = 0
