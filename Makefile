@@ -1,11 +1,13 @@
 GO ?= go
 
 # Packages with microbenchmarks covering the simulator's hot paths and the
-# data plane (workload generation, page cache, index, stats recording).
+# data plane (workload generation, page cache, index, stats recording,
+# absorb merge and open-loop arrival draws).
 BENCH_PKGS = ./internal/sim ./internal/slab ./internal/pagecache \
-	./internal/ycsb ./internal/btree ./internal/stats
+	./internal/ycsb ./internal/btree ./internal/stats \
+	./internal/core ./internal/harness
 
-.PHONY: all build vet fmt-check lint test race check bench alloc-budget crash-sweep trace
+.PHONY: all build vet fmt-check lint test race check bench alloc-budget crash-sweep trace absorb
 
 # Crash sweep knobs: SEED picks the deterministic schedule (a CI failure
 # prints the seed to rerun here), K is points per engine, ENGINE narrows to
@@ -13,6 +15,11 @@ BENCH_PKGS = ./internal/sim ./internal/slab ./internal/pagecache \
 SEED ?= 1
 K ?= 25
 ENGINE ?= all
+
+# Write-absorption sweep knobs (`make absorb`): comma-separated arrival
+# rates (ops per virtual second) and zipfian skews.
+RATE ?= 100000,1000000
+SKEW ?= 0.6,0.99
 
 all: check
 
@@ -50,6 +57,12 @@ alloc-budget:
 # per SEED; a failing point prints its exact repro flags.
 crash-sweep:
 	$(GO) run ./cmd/kvell-crash -engine $(ENGINE) -k $(K) -seed $(SEED)
+
+# Write-absorption sweep (see DESIGN.md §11): open-loop update-only Zipfian
+# workloads across SKEW x RATE x commit interval; reports device-write
+# reduction, goodput and tail latency per cell. Deterministic per SEED.
+absorb:
+	$(GO) run ./cmd/kvell-absorb -quick -parallel 0 -seed $(SEED) -rate $(RATE) -skew $(SKEW)
 
 # Traced runs (see DESIGN.md §10): writes Chrome trace JSON (Perfetto) and
 # per-component latency breakdown tables for an LSM and a KVell run into

@@ -1,0 +1,70 @@
+// Command kvell-absorb runs the write-absorption sweep: open-loop update-only
+// Zipfian workloads across skew × arrival rate × commit interval, reporting
+// device-write reduction, goodput, and tail latency per cell (see DESIGN.md
+// §11 and `kvell-bench -exp absorb` for the default grid).
+//
+// Usage:
+//
+//	kvell-absorb                                   # default grid, full mode
+//	kvell-absorb -quick -rate 100000 -skew 0.99    # one column, fast
+//	kvell-absorb -interval-us 0,800 -seed 7
+//
+// The sweep is deterministic per seed at any -parallel setting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"kvell/internal/env"
+	"kvell/internal/harness"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		quick    = flag.Bool("quick", false, "shorter durations and smaller datasets")
+		parallel = flag.Int("parallel", 1, "concurrent simulations (0 = one per CPU)")
+		rates    = flag.String("rate", "", "comma-separated arrival rates, ops per virtual second")
+		skews    = flag.String("skew", "", "comma-separated zipfian thetas")
+		ivs      = flag.String("interval-us", "", "comma-separated commit intervals in microseconds (0 = absorption off)")
+	)
+	flag.Parse()
+
+	n := *parallel
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	o := harness.Options{Quick: *quick, Seed: *seed, Parallel: n}
+
+	ao := harness.AbsorbOpts{
+		Rates:  parseFloats("rate", *rates),
+		Thetas: parseFloats("skew", *skews),
+	}
+	for _, us := range parseFloats("interval-us", *ivs) {
+		ao.Intervals = append(ao.Intervals, env.Time(us)*env.Microsecond)
+	}
+	harness.AbsorbReport(o, ao, os.Stdout)
+}
+
+// parseFloats splits a comma-separated flag value; empty means "use the
+// sweep's default list".
+func parseFloats(name, s string) []float64 {
+	if s == "" {
+		return nil
+	}
+	var vs []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvell-absorb: -%s: bad value %q\n", name, f)
+			os.Exit(2)
+		}
+		vs = append(vs, v)
+	}
+	return vs
+}

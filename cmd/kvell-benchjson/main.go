@@ -10,6 +10,8 @@
 // The -baseline file is a previous output of this tool: its "after" numbers
 // become the new file's "before" numbers, so a checked-in baseline recorded
 // before an optimization yields before/after/speedup for every benchmark.
+// Baseline entries for benchmarks absent from the current run are carried
+// into the output unchanged, so partial runs never lose recorded families.
 package main
 
 import (
@@ -117,6 +119,10 @@ func main() {
 			}
 			e, ok := f.Benchmarks[name]
 			if !ok {
+				// A family absent from this run keeps its baseline record
+				// verbatim: a partial `go test -bench` over a few packages
+				// must not clobber the rest of the trajectory.
+				f.Benchmarks[name] = b
 				continue
 			}
 			e.Before = b.After

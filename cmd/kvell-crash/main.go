@@ -21,17 +21,19 @@ import (
 	"strings"
 	"time"
 
+	"kvell/internal/env"
 	"kvell/internal/harness"
 )
 
 func main() {
 	var (
-		engine  = flag.String("engine", "all", "engine to crash: kvell, rocks, pebbles, wt, toku, or all")
-		points  = flag.Int("k", 25, "seeded crash points per engine")
-		seed    = flag.Int64("seed", 1, "master seed (crash points and power-loss coins derive from it)")
-		records = flag.Int64("records", 8_000, "records in the store under test")
-		point   = flag.Int("point", 0, "run only this 1-based point (failure repro)")
-		verbose = flag.Bool("v", false, "print one line per surviving crash point")
+		engine   = flag.String("engine", "all", "engine to crash: kvell, rocks, pebbles, wt, toku, or all")
+		points   = flag.Int("k", 25, "seeded crash points per engine")
+		seed     = flag.Int64("seed", 1, "master seed (crash points and power-loss coins derive from it)")
+		records  = flag.Int64("records", 8_000, "records in the store under test")
+		point    = flag.Int("point", 0, "run only this 1-based point (failure repro)")
+		verbose  = flag.Bool("v", false, "print one line per surviving crash point")
+		absorbUS = flag.Int64("absorb-us", 50, "commit interval (µs) for the extra KVell+absorb pass; 0 skips it")
 	)
 	flag.Parse()
 
@@ -56,16 +58,28 @@ func main() {
 	}
 	failures := 0
 	start := time.Now()
-	for _, k := range kinds {
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
 		failures += harness.CrashSweep(k, opts, os.Stdout)
+		names[i] = k.String()
+	}
+	// KVell runs a second pass with the write-absorption front end enabled:
+	// absorbed-then-acked writes must also survive a crash landing in the
+	// middle of a group commit.
+	if *absorbUS > 0 {
+		for _, k := range kinds {
+			if k != harness.KVell {
+				continue
+			}
+			ao := opts
+			ao.AbsorbInterval = env.Time(*absorbUS) * env.Microsecond
+			failures += harness.CrashSweep(k, ao, os.Stdout)
+			names = append(names, k.String()+"+absorb")
+		}
 	}
 	ran := *points
 	if *point > 0 {
 		ran = 1
-	}
-	names := make([]string, len(kinds))
-	for i, k := range kinds {
-		names[i] = k.String()
 	}
 	if failures > 0 {
 		fmt.Printf("\ncrash sweep FAILED: %d failing point(s) (seed %d); rerun locally with make crash-sweep SEED=%d\n",

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"kvell/internal/device"
+	"kvell/internal/env"
 	"kvell/internal/pagecache"
 	"kvell/internal/slab"
 )
@@ -61,6 +62,25 @@ type Config struct {
 	// global lock (the "conventional KV design" the paper contrasts
 	// with). Simulation-only.
 	SharedEverything bool
+
+	// AbsorbInterval, when > 0, enables the write-absorption front end:
+	// each worker buffers updates and deletes, merging same-key writes so
+	// only the last version reaches its slab, and group-commits the buffer
+	// once per interval (plus immediately whenever its device goes idle,
+	// so an uncontended write pays no extra latency). All requests a key
+	// absorbed are acknowledged together when the surviving write is
+	// durable. The interval adapts between AbsorbMinInterval and
+	// AbsorbMaxInterval with device queue depth; AbsorbInterval is the
+	// starting point. Incompatible with SharedEverything (the buffer is
+	// per-worker state).
+	AbsorbInterval env.Time
+	// AbsorbMinInterval is the adaptive floor (default AbsorbInterval/4).
+	AbsorbMinInterval env.Time
+	// AbsorbMaxInterval is the adaptive ceiling (default 4×AbsorbInterval).
+	AbsorbMaxInterval env.Time
+	// AbsorbMaxHeld bounds buffered (un-acked) requests per worker; the
+	// buffer is force-flushed at the bound (default 4×BatchSize).
+	AbsorbMaxHeld int
 }
 
 // DefaultConfig returns the paper's configuration over the given disks.
@@ -107,6 +127,23 @@ func (c *Config) validate() error {
 	if perClass < 4*c.ExtentPages {
 		return fmt.Errorf("core: worker region %d pages too small for %d classes of %d-page extents",
 			c.WorkerRegionPages, len(c.Classes), c.ExtentPages)
+	}
+	if c.AbsorbInterval > 0 {
+		if c.SharedEverything {
+			return fmt.Errorf("core: write absorption requires shared-nothing workers")
+		}
+		if c.AbsorbMinInterval <= 0 {
+			c.AbsorbMinInterval = max(c.AbsorbInterval/4, 1)
+		}
+		if c.AbsorbMaxInterval <= 0 {
+			c.AbsorbMaxInterval = 4 * c.AbsorbInterval
+		}
+		if c.AbsorbMinInterval > c.AbsorbInterval || c.AbsorbInterval > c.AbsorbMaxInterval {
+			return fmt.Errorf("core: absorb intervals must satisfy min <= start <= max")
+		}
+		if c.AbsorbMaxHeld <= 0 {
+			c.AbsorbMaxHeld = 4 * c.BatchSize
+		}
 	}
 	return nil
 }

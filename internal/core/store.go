@@ -59,6 +59,12 @@ func Open(e env.Env, cfg Config) (*Store, error) {
 		w.logPages = perClass
 		w.state = w
 		w.initAIO()
+		if cfg.AbsorbInterval > 0 {
+			w.ab = newAbsorber()
+			w.tick = &flushTick{}
+			w.absorbMu = e.NewMutex()
+			w.absorbInterval = cfg.AbsorbInterval
+		}
 		s.workers = append(s.workers, w)
 	}
 	if cfg.SharedEverything {
@@ -98,12 +104,22 @@ func (s *Store) Start() {
 	for _, w := range s.workers {
 		w := w
 		s.env.Go(fmt.Sprintf("kvell-worker-%d", w.id), w.run)
+		if w.ab != nil {
+			s.env.Go(fmt.Sprintf("kvell-absorb-%d", w.id), w.absorbLoop)
+		}
 	}
 }
 
 // Stop closes the request queues; workers drain in-flight work and exit.
+// Each absorb tick proc is stopped under its mutex before its queue closes,
+// so a proc mid-wakeup can never push a tick into a closed queue.
 func (s *Store) Stop(c env.Ctx) {
 	for _, w := range s.workers {
+		if w.ab != nil {
+			w.absorbMu.Lock(c)
+			w.absorbStopped = true
+			w.absorbMu.Unlock(c)
+		}
 		w.q.Close(c)
 	}
 }
@@ -314,6 +330,12 @@ type Stats struct {
 	IOsSubmitted int64
 	Requests     int64
 	FreeReused   int64
+
+	// Write-absorption counters (zero when the front end is disabled).
+	Absorbed      int64 // requests merged into an already-buffered key
+	AbsorbReads   int64 // gets/RMW reads served from the buffer
+	AbsorbFlushes int64 // group commits
+	AbsorbWrites  int64 // surviving writes issued by group commits
 }
 
 // Stats returns aggregate statistics.
@@ -327,6 +349,12 @@ func (s *Store) Stats() Stats {
 		st.Syscalls += w.aio.Syscalls
 		st.IOsSubmitted += w.aio.Submitted
 		st.Requests += w.reqs
+		if w.ab != nil {
+			st.Absorbed += w.ab.absorbed
+			st.AbsorbReads += w.ab.reads
+			st.AbsorbFlushes += w.ab.flushes
+			st.AbsorbWrites += w.ab.groupedW
+		}
 		for _, sl := range w.slabs {
 			st.FreeReused += sl.Free.Reused()
 		}

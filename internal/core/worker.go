@@ -118,6 +118,16 @@ type worker struct {
 	logBase, logPages int64
 	logCursor         int64
 
+	// Write-absorption front end (nil when disabled). absorbMu guards the
+	// interval and the stopped flag, which the per-worker tick proc reads;
+	// everything else is touched only on the worker thread.
+	ab             *absorber
+	tick           *flushTick
+	absorbMu       env.Mutex
+	absorbInterval env.Time
+	absorbStopped  bool
+	absorbOverflow bool
+
 	reqs int64
 }
 
@@ -215,10 +225,20 @@ func (w *worker) run(c env.Ctx) {
 	var out []*aio.IO
 	for {
 		var reqs []any
+		idleFlush := false
 		if w.aio.Inflight() == 0 {
-			reqs = w.q.PopWait(c, batch)
-			if reqs == nil {
-				return // queue closed and drained, no I/O in flight
+			if w.ab != nil && w.ab.pending() > 0 {
+				// Device idle with absorbed writes pending: commit the
+				// group now instead of parking — an uncontended write
+				// therefore pays no absorb latency, and the worker never
+				// blocks in PopWait while clients await buffered acks.
+				reqs = w.q.TryPop(c, batch)
+				idleFlush = len(reqs) == 0
+			} else {
+				reqs = w.q.PopWait(c, batch)
+				if reqs == nil {
+					return // queue closed and drained, no I/O in flight
+				}
 			}
 		} else {
 			reqs = w.q.TryPop(c, batch)
@@ -226,9 +246,9 @@ func (w *worker) run(c env.Ctx) {
 		out = out[:0]
 		w.lockShared(c)
 		for _, r := range reqs {
-			w.reqs++
 			switch t := r.(type) {
 			case *kv.Request:
+				w.reqs++
 				// Capture the trace context before start: Done may finish
 				// (and recycle) it. The worker's ambient context is cleared
 				// after each item so parks never carry a stale one.
@@ -241,8 +261,14 @@ func (w *worker) run(c env.Ctx) {
 					state.start(c, t, &out)
 				}
 			case *locReq:
+				w.reqs++
 				state.startLoc(c, t, &out)
+			case *flushTick:
+				w.absorbTick(c, &out)
 			}
+		}
+		if w.ab != nil && (idleFlush || w.absorbOverflow) {
+			w.flushAbsorb(c, &out)
 		}
 		w.aio.Submit(c, out)
 		// Writes referencing evicted page buffers have been consumed by the
@@ -265,6 +291,11 @@ func (w *worker) run(c env.Ctx) {
 					cont(c, io, &out)
 				}
 				state.putIO(io)
+			}
+			// Continuations (an RMW's read completing, say) may have pushed
+			// the absorb buffer past its bound.
+			if w.ab != nil && w.absorbOverflow {
+				w.flushAbsorb(c, &out)
 			}
 			w.aio.Submit(c, out)
 			state.recycleBufs()
@@ -314,6 +345,9 @@ func (w *worker) indexDelete(c env.Ctx, key []byte) {
 }
 
 func (w *worker) start(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
+	if w.ab != nil && w.absorbStart(c, r, out) {
+		return
+	}
 	switch r.Op {
 	case kv.OpGet:
 		l, ok := w.lookup(c, r.Key)
@@ -680,12 +714,21 @@ func (w *worker) writeTombstone(c env.Ctx, l location, ts uint64, out *[]*aio.IO
 }
 
 func (w *worker) doDelete(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
-	l, ok := w.lookup(c, r.Key)
-	if !ok {
+	if !w.deleteKey(c, r.Key, func(c env.Ctx, out *[]*aio.IO) {
+		w.respond(c, r, kv.Result{Found: true})
+	}, out) {
 		w.respond(c, r, kv.Result{})
-		return
 	}
-	w.indexDelete(c, r.Key)
+}
+
+// deleteKey removes key, invoking done once its tombstone is durable. It
+// returns false — without calling done — when the key does not exist.
+func (w *worker) deleteKey(c env.Ctx, key []byte, done func(c env.Ctx, out *[]*aio.IO), out *[]*aio.IO) bool {
+	l, ok := w.lookup(c, key)
+	if !ok {
+		return false
+	}
+	w.indexDelete(c, key)
 	sl := w.slabs[l.class()]
 	slot := l.slot()
 	chainTo, chained := sl.Free.Push(slot)
@@ -694,19 +737,19 @@ func (w *worker) doDelete(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
 	}
 	sl.Live--
 	ts := w.nextTS()
-	done := func(c env.Ctx, out *[]*aio.IO) { w.respond(c, r, kv.Result{Found: true}) }
 	if sl.MultiPage() {
 		data := w.zeroPageBuf()
 		sl.EncodeTombstone(data, ts, chainTo)
 		w.cacheRemove(sl.SlotPage(slot))
 		w.writePage(c, sl.SlotPage(slot), data, done, out)
 		w.retireBuf(data)
-		return
+		return true
 	}
 	page, off := sl.SlotPage(slot), sl.SlotOffset(slot)
 	w.applyToPage(c, page, func(c env.Ctx, data []byte) {
 		sl.EncodeTombstone(data[off:off+sl.Stride], ts, chainTo)
 	}, done, out)
+	return true
 }
 
 // withCommitLog wraps done so it additionally waits for a sequential

@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"kvell/internal/core"
+	"kvell/internal/env"
+	"kvell/internal/stats"
+	"kvell/internal/ycsb"
+)
+
+// AbsorbOpts parameterizes the write-absorption sweep: skew × arrival rate ×
+// commit interval, per engine. Interval 0 is the absorption-off baseline
+// (only meaningful for KVell; other engines always run at 0).
+type AbsorbOpts struct {
+	Engines   []EngineKind
+	Thetas    []float64
+	Rates     []float64 // arrivals per virtual second
+	Intervals []env.Time
+	Records   int64
+	ItemSize  int
+	Duration  env.Time
+	// MaxPerShard is the admission valve bound (see Arrival).
+	MaxPerShard int
+	Policy      ValvePolicy
+}
+
+func (ao *AbsorbOpts) defaults(o Options) {
+	if len(ao.Engines) == 0 {
+		ao.Engines = []EngineKind{KVell, RocksLike}
+	}
+	if len(ao.Thetas) == 0 {
+		ao.Thetas = []float64{0.6, 0.99}
+	}
+	if len(ao.Rates) == 0 {
+		ao.Rates = []float64{100_000, 1_000_000}
+	}
+	if len(ao.Intervals) == 0 {
+		ao.Intervals = []env.Time{0, 200 * env.Microsecond, 800 * env.Microsecond}
+	}
+	if ao.Records == 0 {
+		ao.Records = 20_000
+	}
+	if ao.ItemSize == 0 {
+		ao.ItemSize = 1024
+	}
+	if ao.Duration == 0 {
+		ao.Duration = o.dur(env.Second)
+	}
+	if ao.MaxPerShard == 0 {
+		ao.MaxPerShard = 1024
+	}
+}
+
+// AbsorbPoint is one cell of the sweep with its headline measurements.
+type AbsorbPoint struct {
+	Engine   EngineKind
+	Theta    float64
+	Rate     float64
+	Interval env.Time
+
+	Res         Result
+	WritesPerOp float64 // device write ops per completed operation
+}
+
+// updateOnlyGen is a pure-update Zipfian stream with configurable skew —
+// the workload where write absorption has something to absorb.
+func updateOnlyGen(records int64, itemSize int, theta float64) func(int64) Generator {
+	return func(seed int64) Generator {
+		wl := ycsb.Workload{Name: "update-only", UpdatePct: 100}
+		return ycsb.NewGeneratorTheta(wl, ycsb.Zipfian, records, itemSize, seed, theta)
+	}
+}
+
+// absorbSpec builds one sweep cell's Spec.
+func absorbSpec(o Options, ao *AbsorbOpts, eng EngineKind, theta, rate float64, interval env.Time) Spec {
+	return Spec{
+		Name:     "absorb",
+		Seed:     o.Seed,
+		Engine:   eng,
+		Records:  ao.Records,
+		ItemSize: ao.ItemSize,
+		Gen:      updateOnlyGen(ao.Records, ao.ItemSize, theta),
+		Duration: ao.Duration,
+		Arrival: &Arrival{
+			Rate:        rate,
+			MaxPerShard: ao.MaxPerShard,
+			Policy:      ao.Policy,
+		},
+		TweakKVell: func(c *core.Config) {
+			c.AbsorbInterval = interval
+			if interval > 0 {
+				// Let the buffer hold as much as the valve admits per worker;
+				// the default (4x batch) forces premature overflow flushes.
+				c.AbsorbMaxHeld = ao.MaxPerShard
+			}
+		},
+	}
+}
+
+// AbsorbSweep runs the grid and computes per-point device-write cost.
+func AbsorbSweep(o Options, ao AbsorbOpts) []AbsorbPoint {
+	ao.defaults(o)
+	var pts []AbsorbPoint
+	var specs []Spec
+	for _, eng := range ao.Engines {
+		intervals := ao.Intervals
+		if eng != KVell {
+			intervals = intervals[:1] // baseline only: absorption is a KVell front end
+		}
+		for _, theta := range ao.Thetas {
+			for _, rate := range ao.Rates {
+				for _, iv := range intervals {
+					pts = append(pts, AbsorbPoint{Engine: eng, Theta: theta, Rate: rate, Interval: iv})
+					specs = append(specs, absorbSpec(o, &ao, eng, theta, rate, iv))
+				}
+			}
+		}
+	}
+	results := o.runAll(specs...)
+	for i := range pts {
+		pts[i].Res = results[i]
+		var writes int64
+		for _, d := range results[i].Disks {
+			writes += d.Counters().WriteOps
+		}
+		if n := results[i].OpsTotal; n > 0 {
+			pts[i].WritesPerOp = float64(writes) / float64(n)
+		}
+	}
+	return pts
+}
+
+// findPoint returns the sweep cell matching the coordinates, or nil.
+func findPoint(pts []AbsorbPoint, eng EngineKind, theta, rate float64, iv env.Time) *AbsorbPoint {
+	for i := range pts {
+		p := &pts[i]
+		if p.Engine == eng && p.Theta == theta && p.Rate == rate && p.Interval == iv {
+			return p
+		}
+	}
+	return nil
+}
+
+// absorbExp is the registered experiment: the default grid, one table row
+// per cell, then the headline device-write-reduction and overload-tail
+// summary.
+func absorbExp(o Options, w io.Writer) {
+	AbsorbReport(o, AbsorbOpts{}, w)
+}
+
+// AbsorbReport runs the sweep described by ao (zero fields take defaults)
+// and prints the table and headline summary — the entry point kvell-absorb
+// uses for flag-selected rates and skews.
+func AbsorbReport(o Options, ao AbsorbOpts, w io.Writer) {
+	ao.defaults(o)
+	fmt.Fprintf(w, "Write absorption: open-loop update-only Zipfian sweep (%d records, valve bound %d/shard)\n\n",
+		ao.Records, ao.MaxPerShard)
+	fmt.Fprintf(w, "%-14s %-6s %10s %10s %12s %10s %10s %10s %8s\n",
+		"engine", "theta", "rate/s", "interval", "goodput", "p50", "p99", "writes/op", "shed")
+	pts := AbsorbSweep(o, ao)
+	for i := range pts {
+		p := &pts[i]
+		iv := "off"
+		if p.Interval > 0 {
+			iv = stats.FmtDur(p.Interval)
+		}
+		fmt.Fprintf(w, "%-14s %-6.2f %10.0f %10s %12s %10s %10s %10.2f %8d\n",
+			p.Engine, p.Theta, p.Rate, iv,
+			stats.FmtRate(p.Res.Throughput),
+			stats.FmtDur(p.Res.Lat.Percentile(0.50)),
+			stats.FmtDur(p.Res.Lat.Percentile(0.99)),
+			p.WritesPerOp, p.Res.Shed)
+	}
+	fmt.Fprintf(w, "\n")
+
+	// Headline: best write reduction per (theta, rate) on KVell.
+	maxTheta := ao.Thetas[len(ao.Thetas)-1]
+	for _, theta := range ao.Thetas {
+		for _, rate := range ao.Rates {
+			base := findPoint(pts, KVell, theta, rate, 0)
+			if base == nil || base.WritesPerOp == 0 {
+				continue
+			}
+			best := base
+			for _, iv := range ao.Intervals[1:] {
+				if p := findPoint(pts, KVell, theta, rate, iv); p != nil && p.WritesPerOp < best.WritesPerOp {
+					best = p
+				}
+			}
+			red := base.WritesPerOp / best.WritesPerOp
+			fmt.Fprintf(w, "KVell theta=%.2f rate=%.0f: device-write reduction %.2fx (%.2f -> %.2f writes/op, interval %s)\n",
+				theta, rate, red, base.WritesPerOp, best.WritesPerOp, stats.FmtDur(best.Interval))
+			if theta >= maxTheta && rate >= ao.Rates[len(ao.Rates)-1] {
+				verdict := "FAIL"
+				if red >= 2 {
+					verdict = "ok"
+				}
+				fmt.Fprintf(w, "  -> >=2x reduction at theta>=%.2f under overload: %s\n", maxTheta, verdict)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\nAbsorption merges same-key updates in the per-worker buffer so a single group-committed\nwrite acknowledges them all; the idle-flush path keeps p50 flat at moderate load, and the\nadmission valve bounds p99 under overload instead of letting queues grow without limit.\n")
+}

@@ -3,6 +3,8 @@ package harness
 import (
 	"os"
 	"testing"
+
+	"kvell/internal/env"
 )
 
 // TestCrashDeterminism is the crash-schedule regression: the same spec must
@@ -32,6 +34,34 @@ func TestCrashDeterminism(t *testing.T) {
 	}
 	if c.Digest == a.Digest {
 		t.Fatalf("different seeds produced identical digests %016x", a.Digest)
+	}
+}
+
+// TestCrashMidGroupCommit crashes KVell with the write-absorption front end
+// enabled: group commits put several writes in flight at once, so seeded
+// crash points land in the middle of a group, and every absorbed-then-acked
+// write must still be recovered. At least one point must actually catch a
+// multi-write group in flight, or the sweep proved nothing.
+func TestCrashMidGroupCommit(t *testing.T) {
+	sawGroup := false
+	for i := 1; i <= 4; i++ {
+		pointSeed, atWrite := SweepPoint(11, i)
+		res, err := RunCrash(CrashSpec{
+			Engine:         KVell,
+			Seed:           pointSeed,
+			Records:        4_000,
+			AtWrite:        atWrite,
+			AbsorbInterval: 50 * env.Microsecond,
+		})
+		if err != nil {
+			t.Fatalf("point %d (seed %d, atwrite %d): %v", i, pointSeed, atWrite, err)
+		}
+		if res.Fault.InFlight > 1 {
+			sawGroup = true
+		}
+	}
+	if !sawGroup {
+		t.Fatal("no crash point landed mid-group-commit (every crash saw <=1 write in flight)")
 	}
 }
 

@@ -35,6 +35,11 @@ type CrashSpec struct {
 	Window  int
 	NDisks  int
 	Cores   int
+	// AbsorbInterval enables KVell's write-absorption front end (0 = off).
+	// Absorbed writes are acknowledged only when their group commit settles,
+	// so the same verification applies: no acked version may be lost, even
+	// when the crash lands in the middle of a multi-write group commit.
+	AbsorbInterval env.Time
 }
 
 func (cs *CrashSpec) defaults() {
@@ -342,7 +347,7 @@ func RunCrash(spec CrashSpec) (CrashResult, error) {
 // (KVell is durable by construction — no commit log, acknowledgements only
 // after the final-location write).
 func crashHarnessSpec(cs *CrashSpec) *Spec {
-	return &Spec{
+	hs := &Spec{
 		Engine:    cs.Engine,
 		Seed:      cs.Seed,
 		Cores:     cs.Cores,
@@ -353,6 +358,10 @@ func crashHarnessSpec(cs *CrashSpec) *Spec {
 		TweakWT:   func(c *wtree.Config) { c.Durable = true },
 		TweakBE:   func(c *betree.Config) { c.Durable = true },
 	}
+	if cs.AbsorbInterval > 0 {
+		hs.TweakKVell = func(c *core.Config) { c.AbsorbInterval = cs.AbsorbInterval }
+	}
+	return hs
 }
 
 // SweepOpts configure CrashSweep.
@@ -367,6 +376,9 @@ type SweepOpts struct {
 	// knob the failure message prints.
 	Point   int
 	Verbose bool
+	// AbsorbInterval runs every point with KVell's write-absorption front
+	// end at this commit interval (0 = off; KVell only).
+	AbsorbInterval env.Time
 }
 
 // SweepPoint returns the i-th (1-based) derived crash point for a master
@@ -398,21 +410,30 @@ func CrashSweep(kind EngineKind, o SweepOpts, w io.Writer) int {
 		}
 		pointSeed, atWrite := SweepPoint(o.Seed, i)
 		res, err := RunCrash(CrashSpec{
-			Engine:  kind,
-			Seed:    pointSeed,
-			Records: o.Records,
-			AtWrite: atWrite,
+			Engine:         kind,
+			Seed:           pointSeed,
+			Records:        o.Records,
+			AtWrite:        atWrite,
+			AbsorbInterval: o.AbsorbInterval,
 		})
+		label := kind.String()
+		if o.AbsorbInterval > 0 {
+			label += "+absorb"
+		}
 		if err != nil {
 			failures++
-			fmt.Fprintf(w, "FAIL %-16s point %2d/%d: %v\n", kind, i, o.Points, err)
-			fmt.Fprintf(w, "     repro: go run ./cmd/kvell-crash -engine=%s -seed=%d -point=%d\n",
-				engineFlag(kind), o.Seed, i)
+			absorb := ""
+			if o.AbsorbInterval > 0 {
+				absorb = fmt.Sprintf(" -absorb-us=%d", int64(o.AbsorbInterval/env.Microsecond))
+			}
+			fmt.Fprintf(w, "FAIL %-16s point %2d/%d: %v\n", label, i, o.Points, err)
+			fmt.Fprintf(w, "     repro: go run ./cmd/kvell-crash -engine=%s -seed=%d -point=%d%s\n",
+				engineFlag(kind), o.Seed, i, absorb)
 			continue
 		}
 		if o.Verbose {
 			fmt.Fprintf(w, "ok   %-16s point %2d/%d: crash@%s write=%d inflight=%d (kept %d, dropped %d, torn %d) acked=%d replayed=%d recover=%s digest=%016x\n",
-				kind, i, o.Points, stats.FmtDur(res.CrashTime), res.AtWrite, res.Fault.InFlight,
+				label, i, o.Points, stats.FmtDur(res.CrashTime), res.AtWrite, res.Fault.InFlight,
 				res.Fault.Completed, res.Fault.Dropped, res.Fault.Torn,
 				res.AckedUpdates, res.Replayed, stats.FmtDur(res.RecoverTime), res.Digest)
 		}

@@ -3,6 +3,7 @@ package harness
 import (
 	"testing"
 
+	"kvell/internal/core"
 	"kvell/internal/env"
 	"kvell/internal/ycsb"
 )
@@ -63,5 +64,84 @@ func TestDifferentSeedDifferentRun(t *testing.T) {
 	b := runFingerprint(determinismSpec(KVell, 2))
 	if a.lat == b.lat && a.timeline == b.timeline && a.ops == b.ops {
 		t.Errorf("different seeds produced identical runs — the seed is not reaching the workload: %+v", a)
+	}
+}
+
+// absorbDeterminismSpec is an open-loop, absorb-enabled KVell run: it
+// exercises the arrival generator, the admission valve, the absorb buffer
+// and the adaptive commit interval in one schedule.
+func absorbDeterminismSpec(seed int64) Spec {
+	return Spec{
+		Name:     "absorb-determinism",
+		Engine:   KVell,
+		Seed:     seed,
+		Records:  5_000,
+		ItemSize: 512,
+		Gen:      updateOnlyGen(5_000, 512, 0.99),
+		Duration: 200 * env.Millisecond,
+		Arrival:  &Arrival{Rate: 400_000, MaxPerShard: 128},
+		TweakKVell: func(c *core.Config) {
+			c.AbsorbInterval = 100 * env.Microsecond
+		},
+	}
+}
+
+// Golden fingerprint for absorbDeterminismSpec(1234): locks the absorb-
+// enabled open-loop schedule the same way testdata/golden_digests.json locks
+// the closed-loop ones. On mismatch the failure message prints the measured
+// values; update the constants only for changes *meant* to alter schedules.
+const (
+	absorbGoldenOps      = int64(79_959)
+	absorbGoldenLat      = uint64(0x358ee3f665d9b1ef)
+	absorbGoldenTimeline = uint64(0x1f922423bbe6e8c0)
+)
+
+func TestAbsorbGoldenDigest(t *testing.T) {
+	t.Parallel()
+	fp := runFingerprint(absorbDeterminismSpec(1234))
+	if fp.ops != absorbGoldenOps || fp.lat != absorbGoldenLat || fp.timeline != absorbGoldenTimeline {
+		t.Errorf("absorb-enabled schedule diverged from golden fingerprint\n got ops=%d lat=%#016x timeline=%#016x\nwant ops=%d lat=%#016x timeline=%#016x",
+			fp.ops, fp.lat, fp.timeline, absorbGoldenOps, absorbGoldenLat, absorbGoldenTimeline)
+	}
+}
+
+func TestAbsorbSpecDeterminism(t *testing.T) {
+	t.Parallel()
+	a := runFingerprint(absorbDeterminismSpec(99))
+	if a.ops == 0 {
+		t.Fatal("absorb-enabled open-loop run completed no operations")
+	}
+	if b := runFingerprint(absorbDeterminismSpec(99)); a != b {
+		t.Errorf("same seed produced different absorb-enabled runs\n first: %+v\nsecond: %+v", a, b)
+	}
+	if c := runFingerprint(absorbDeterminismSpec(100)); c.lat == a.lat && c.timeline == a.timeline {
+		t.Errorf("different seeds produced identical absorb-enabled runs: %+v", a)
+	}
+}
+
+// Golden digests for the open-loop arrival generator: Digest folds the first
+// n inter-arrival gaps (burst modulation and the fractional-ns carry
+// included) into an FNV-1a word. On mismatch the failure message prints the
+// measured digest; update only for changes meant to alter arrival schedules.
+func TestArrivalGenGoldenDigest(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a    Arrival
+		seed int64
+		n    int
+		want uint64
+	}{
+		{"poisson-1M", Arrival{Rate: 1_000_000}, 7, 100_000, 0x5d431d7dd5c3ceb5},
+		{"burst-8x", Arrival{
+			Rate:        250_000,
+			BurstEvery:  10 * env.Millisecond,
+			BurstLen:    2 * env.Millisecond,
+			BurstFactor: 8,
+		}, 11, 100_000, 0x8771402626509c2f},
+	} {
+		g := NewArrivalGen(&tc.a, tc.seed)
+		if got := g.Digest(tc.n); got != tc.want {
+			t.Errorf("%s: digest %#016x, want %#016x", tc.name, got, tc.want)
+		}
 	}
 }

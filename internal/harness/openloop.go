@@ -1,0 +1,284 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kvell/internal/core"
+	"kvell/internal/env"
+	"kvell/internal/kv"
+	"kvell/internal/sim"
+	"kvell/internal/stats"
+)
+
+// ValvePolicy selects what the admission valve does with an arrival whose
+// target shard is already at its outstanding bound.
+type ValvePolicy uint8
+
+const (
+	// Shed rejects the arrival outright: it is counted, not serviced, and
+	// contributes no latency sample. Goodput and p99 stay measurements of
+	// the work the system accepted.
+	Shed ValvePolicy = iota
+	// Delay holds admission until the shard drains below its bound. The
+	// arrival's latency clock keeps running from its scheduled arrival
+	// time, so the backpressure wait is visible in the distribution.
+	Delay
+)
+
+// String names the policy.
+func (p ValvePolicy) String() string {
+	if p == Delay {
+		return "delay"
+	}
+	return "shed"
+}
+
+// Arrival configures the open-loop arrival process: requests arrive on a
+// seeded Poisson process at Rate ops/s of virtual time — independent of
+// service completions, unlike the default closed-loop clients — optionally
+// modulated by deterministic bursts, and pass through a per-shard admission
+// valve before reaching the engine.
+type Arrival struct {
+	// Rate is the mean arrival rate in operations per virtual second.
+	Rate float64
+	// BurstEvery/BurstLen/BurstFactor modulate the rate: for the first
+	// BurstLen of every BurstEvery period, Rate is multiplied by
+	// BurstFactor. Zero values disable bursts.
+	BurstEvery  env.Time
+	BurstLen    env.Time
+	BurstFactor float64
+	// MaxPerShard bounds admitted-but-incomplete requests per engine shard
+	// (a KVell worker; one shard for library engines, scaled by the KVell
+	// default worker count to keep bounds comparable). Default 1024.
+	MaxPerShard int
+	// Policy is what happens at the bound (default Shed).
+	Policy ValvePolicy
+}
+
+func (a *Arrival) maxPerShard() int {
+	if a.MaxPerShard <= 0 {
+		return 1024
+	}
+	return a.MaxPerShard
+}
+
+// ArrivalGen draws Poisson inter-arrival gaps with deterministic burst
+// modulation. The draw path does not allocate.
+type ArrivalGen struct {
+	r         *rand.Rand
+	meanGap   float64 // mean inter-arrival gap, ns
+	every     env.Time
+	burstLen  env.Time
+	burstDiv  float64 // gap divisor inside a burst (= BurstFactor)
+	arrivals  int64
+	shortfall float64 // fractional ns carried between draws
+}
+
+// NewArrivalGen builds the generator for a (seeded) arrival spec.
+func NewArrivalGen(a *Arrival, seed int64) *ArrivalGen {
+	g := &ArrivalGen{
+		r:        rand.New(rand.NewSource(seed)),
+		meanGap:  float64(env.Second) / a.Rate,
+		every:    a.BurstEvery,
+		burstLen: a.BurstLen,
+		burstDiv: a.BurstFactor,
+	}
+	if g.burstDiv <= 0 {
+		g.burstDiv = 1
+	}
+	return g
+}
+
+// NextGap returns the virtual-time gap to the next arrival given the current
+// time. Gaps are exponentially distributed around the (possibly burst-
+// scaled) mean; sub-nanosecond remainders carry over so the long-run rate is
+// exact even at extreme arrival rates.
+func (g *ArrivalGen) NextGap(now env.Time) env.Time {
+	mean := g.meanGap
+	if g.every > 0 && now%g.every < g.burstLen {
+		mean /= g.burstDiv
+	}
+	gap := g.r.ExpFloat64()*mean + g.shortfall
+	whole := env.Time(gap)
+	g.shortfall = gap - float64(whole)
+	g.arrivals++
+	return whole
+}
+
+// Digest fingerprints the next n gaps from time zero — the golden-fixture
+// hook for the generator's determinism test.
+func (g *ArrivalGen) Digest(n int) uint64 {
+	d := stats.NewFNV()
+	now := env.Time(0)
+	for i := 0; i < n; i++ {
+		gap := g.NextGap(now)
+		now += gap
+		d.Word(uint64(gap))
+	}
+	return uint64(d)
+}
+
+// shardsOf returns the admission shard count for an engine: KVell's worker
+// count, or one aggregate shard for single-submission-path engines.
+func shardsOf(eng kv.Engine) int {
+	if st, ok := eng.(*core.Store); ok && !st.Config().SharedEverything {
+		return st.Config().Workers
+	}
+	return 1
+}
+
+// runOpenLoop drives the engine with the spec's arrival process. One
+// dispatcher proc generates arrivals, fills requests from the workload
+// generator (one draw per arrival, shed or not, so the operation stream is
+// independent of valve behavior), applies the admission valve, and hands
+// admitted requests to a pool of service procs that submit them — blocking
+// engines occupy a service proc for the duration of the op, KVell returns
+// immediately and completes via Done.
+func runOpenLoop(e *sim.Env, s *sim.Sim, spec *Spec, res *Result, eng kv.Engine, gen Generator, end env.Time) {
+	a := spec.Arrival
+	ag := NewArrivalGen(a, spec.Seed+0x6F70656E) // "open"
+	tr := spec.Tracer
+	shards := shardsOf(eng)
+	perShard := a.maxPerShard()
+	if shards == 1 {
+		// Single-submission-path engines get one aggregate shard; scale its
+		// bound so total admitted capacity matches a default KVell run.
+		perShard *= core.DefaultConfig().Workers
+	}
+	outstanding := make([]int, shards)
+	total := 0
+	mu := e.NewMutex()
+	drained := e.NewCond(mu)
+
+	admitQ := e.NewQueue()
+	filler, _ := gen.(Filler)
+	var free []*kv.Request
+
+	shardFor := func(key []byte) int {
+		if shards == 1 {
+			return 0
+		}
+		return int(kv.Hash64(key) % uint64(shards))
+	}
+
+	// finishOne books a completion and credits its shard. It runs on
+	// whatever proc invoked Done (engine worker or service proc); each
+	// pooled request's Done is wired to it once, so steady-state dispatch
+	// allocates nothing.
+	finishOne := func(r *kv.Request) {
+		t := s.Now()
+		if r.Trace != nil {
+			tr.Finish(r.Trace, t)
+			r.Trace = nil
+		}
+		res.OpsTotal++
+		if t >= spec.Warmup && t < end {
+			res.Ops++
+			res.Lat.Add(t - r.Start)
+			res.Timeline.Add(t, 1)
+		}
+		mu.Lock(nil)
+		outstanding[shardFor(r.Key)]--
+		total--
+		free = append(free, r)
+		mu.Unlock(nil)
+		drained.Broadcast(nil)
+	}
+
+	e.Go("openloop-dispatch", func(c env.Ctx) {
+		for {
+			gap := ag.NextGap(c.Now())
+			if gap > 0 {
+				c.Sleep(gap)
+			}
+			if c.Now() >= end {
+				break
+			}
+			arrived := c.Now()
+			res.Arrivals++
+			mu.Lock(c)
+			var r *kv.Request
+			if n := len(free); n > 0 {
+				r = free[n-1]
+				free = free[:n-1]
+			}
+			mu.Unlock(c)
+			if filler != nil {
+				if r == nil {
+					nr := &kv.Request{}
+					nr.Done = func(kv.Result) { finishOne(nr) }
+					r = nr
+				}
+				filler.FillNext(r)
+			} else {
+				nr := gen.Next()
+				if r != nil {
+					nr.ValueBuf, nr.ScanBuf = r.ValueBuf, r.ScanBuf
+				}
+				nr.Done = func(kv.Result) { finishOne(nr) }
+				r = nr
+			}
+			shard := shardFor(r.Key)
+			mu.Lock(c)
+			if outstanding[shard] >= perShard {
+				if a.Policy == Shed {
+					if arrived >= spec.Warmup && arrived < end {
+						res.Shed++
+					}
+					free = append(free, r)
+					mu.Unlock(c)
+					continue
+				}
+				if arrived >= spec.Warmup && arrived < end {
+					res.Delayed++
+				}
+				for outstanding[shard] >= perShard {
+					drained.Wait(c)
+				}
+			}
+			outstanding[shard]++
+			total++
+			mu.Unlock(c)
+			// Latency is measured from the scheduled arrival: any valve
+			// delay and admit-queue wait counts against the system.
+			r.Start = arrived
+			admitQ.Push(c, r)
+		}
+		admitQ.Close(c)
+	})
+
+	procs := spec.Clients
+	active := procs
+	for ci := 0; ci < procs; ci++ {
+		e.Go(fmt.Sprintf("openloop-serve-%d", ci), func(c env.Ctx) {
+			for {
+				batch := admitQ.PopWait(c, 1)
+				if batch == nil {
+					break
+				}
+				r := batch[0].(*kv.Request)
+				if tr != nil {
+					r.Trace = tr.Begin(int(r.Op), r.Start)
+					c.SetTrace(r.Trace)
+					eng.Submit(c, r)
+					c.SetTrace(nil)
+				} else {
+					eng.Submit(c, r)
+				}
+			}
+			active--
+			if active > 0 {
+				return
+			}
+			// Last service proc: wait for every admitted request to
+			// complete, then stop the engine.
+			mu.Lock(c)
+			for total > 0 {
+				drained.Wait(c)
+			}
+			mu.Unlock(c)
+			eng.Stop(c)
+		})
+	}
+}

@@ -91,6 +91,11 @@ type Spec struct {
 	Clients int
 	Window  int // outstanding requests per client (KVell pipelines)
 
+	// Arrival, when set, replaces the closed-loop clients with an
+	// open-loop Poisson arrival process plus an admission valve (see
+	// openloop.go). Clients then sizes the service-proc pool.
+	Arrival *Arrival
+
 	Warmup   env.Time
 	Duration env.Time
 	Bucket   env.Time // timeline bucket (default 1s)
@@ -121,6 +126,17 @@ type Result struct {
 	Disks      []*device.SimDisk
 	Engine     kv.Engine
 	Sim        *sim.Sim
+
+	// OpsTotal counts every completion including warmup — the denominator
+	// for whole-run ratios like device writes per operation, whose
+	// numerators (disk counters) also span the whole run.
+	OpsTotal int64
+
+	// Open-loop accounting (zero for closed-loop runs). Ops then counts
+	// completed admissions only — goodput, not offered load.
+	Arrivals int64 // arrivals generated (admitted or not, whole run)
+	Shed     int64 // arrivals rejected by the valve in the window
+	Delayed  int64 // arrivals the valve held back in the window
 }
 
 func (s *Spec) defaults() {
@@ -281,6 +297,17 @@ func Run(spec Spec) Result {
 	eng.Start()
 
 	end := spec.Warmup + spec.Duration
+	if spec.Arrival != nil {
+		runOpenLoop(e, s, &spec, &res, eng, gen, end)
+		if err := s.Run(end + 2*env.Second); err != nil {
+			panic(err)
+		}
+		if err := s.Close(); err != nil {
+			panic(err)
+		}
+		res.Throughput = float64(res.Ops) / (float64(spec.Duration) / float64(env.Second))
+		return res
+	}
 	active := spec.Clients
 	filler, _ := gen.(Filler)
 	for ci := 0; ci < spec.Clients; ci++ {
@@ -304,6 +331,7 @@ func Run(spec Spec) Result {
 							tr.Finish(r.Trace, t)
 							r.Trace = nil
 						}
+						res.OpsTotal++
 						if t >= spec.Warmup && t < end {
 							res.Ops++
 							res.Lat.Add(t - r.Start)
@@ -340,6 +368,7 @@ func Run(spec Spec) Result {
 							tr.Finish(r.Trace, t)
 							r.Trace = nil
 						}
+						res.OpsTotal++
 						if t >= spec.Warmup && t < end {
 							res.Ops++
 							res.Lat.Add(t - r.Start)

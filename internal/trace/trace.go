@@ -40,13 +40,14 @@ const (
 	CompStall             // engine write stalls (memtable rotation, dirty-page stalls, L0 slowdown)
 	CompDevQueue          // device queue wait (submit -> service start)
 	CompDevService        // device service time
+	CompAbsorb            // held in the write-absorption buffer awaiting group commit
 	CompOther             // remainder of end-to-end latency not booked above
 	NumComponents
 )
 
 // CompNames names the components, indexed by the constants above.
 var CompNames = [NumComponents]string{
-	"queue", "cpu", "cpu-queue", "lock", "stall", "dev-queue", "dev-service", "other",
+	"queue", "cpu", "cpu-queue", "lock", "stall", "dev-queue", "dev-service", "absorb", "other",
 }
 
 // Span kinds.

@@ -90,13 +90,16 @@ type zipf struct {
 	halfTheta float64
 }
 
-const theta = 0.99
+// DefaultTheta is the YCSB-standard Zipfian skew parameter.
+const DefaultTheta = 0.99
 
-func newZipf(n int64) *zipf {
-	z := &zipf{theta: theta, n: n}
-	z.zeta2 = zetaStatic(2, theta)
-	z.zetan = zetaStatic(n, theta)
-	z.halfTheta = math.Pow(0.5, theta)
+func newZipf(n int64) *zipf { return newZipfTheta(n, DefaultTheta) }
+
+func newZipfTheta(n int64, th float64) *zipf {
+	z := &zipf{theta: th, n: n}
+	z.zeta2 = zetaStatic(2, th)
+	z.zetan = zetaStatic(n, th)
+	z.halfTheta = math.Pow(0.5, th)
 	z.refresh()
 	return z
 }
@@ -157,6 +160,14 @@ type Generator struct {
 // itemSize-byte records (key + value + slab header, so an itemSize of 1024
 // occupies exactly one 1KB slab slot, as in the paper's experiments).
 func NewGenerator(wl Workload, dist Distribution, records int64, itemSize int, seed int64) *Generator {
+	return NewGeneratorTheta(wl, dist, records, itemSize, seed, DefaultTheta)
+}
+
+// NewGeneratorTheta is NewGenerator with an explicit Zipfian skew theta
+// (ignored for the uniform distribution). theta = DefaultTheta reproduces
+// NewGenerator bit for bit; higher values concentrate more of the stream on
+// the hottest records.
+func NewGeneratorTheta(wl Workload, dist Distribution, records int64, itemSize int, seed int64, theta float64) *Generator {
 	g := &Generator{
 		wl:       wl,
 		dist:     dist,
@@ -165,7 +176,7 @@ func NewGenerator(wl Workload, dist Distribution, records int64, itemSize int, s
 		r:        rand.New(rand.NewSource(seed)),
 	}
 	if dist == Zipfian || dist == Latest {
-		g.z = newZipf(records)
+		g.z = newZipfTheta(records, theta)
 	}
 	return g
 }
