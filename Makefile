@@ -5,9 +5,9 @@ GO ?= go
 # absorb merge and open-loop arrival draws).
 BENCH_PKGS = ./internal/sim ./internal/slab ./internal/pagecache \
 	./internal/ycsb ./internal/btree ./internal/stats \
-	./internal/core ./internal/harness
+	./internal/core ./internal/harness ./internal/hotcache
 
-.PHONY: all build vet fmt-check lint test race check bench alloc-budget crash-sweep trace absorb
+.PHONY: all build vet fmt-check lint test race check bench alloc-budget crash-sweep trace absorb tier
 
 # Crash sweep knobs: SEED picks the deterministic schedule (a CI failure
 # prints the seed to rerun here), K is points per engine, ENGINE narrows to
@@ -20,6 +20,11 @@ ENGINE ?= all
 # rates (ops per virtual second) and zipfian skews.
 RATE ?= 100000,1000000
 SKEW ?= 0.6,0.99
+
+# Tiering sweep knobs (`make tier`): comma-separated zipfian skews and
+# hot-tier sizes in MB (0 = tiering off).
+THETA ?= 0.6,0.99
+CACHEMB ?= 0,1.5,4,24
 
 all: check
 
@@ -63,6 +68,13 @@ crash-sweep:
 # reduction, goodput and tail latency per cell. Deterministic per SEED.
 absorb:
 	$(GO) run ./cmd/kvell-absorb -quick -parallel 0 -seed $(SEED) -rate $(RATE) -skew $(SKEW)
+
+# Hot/cold tiering sweep (see DESIGN.md §12): open-loop read-mostly Zipfian
+# workloads on the slow cold-SSD profile across THETA x CACHEMB; reports
+# goodput, tail latency and the memory-hit-rate regimes per cell.
+# Deterministic per SEED.
+tier:
+	$(GO) run ./cmd/kvell-tier -quick -parallel 0 -seed $(SEED) -theta $(THETA) -cachemb $(CACHEMB)
 
 # Traced runs (see DESIGN.md §10): writes Chrome trace JSON (Perfetto) and
 # per-component latency breakdown tables for an LSM and a KVell run into

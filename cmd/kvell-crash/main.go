@@ -34,6 +34,7 @@ func main() {
 		point    = flag.Int("point", 0, "run only this 1-based point (failure repro)")
 		verbose  = flag.Bool("v", false, "print one line per surviving crash point")
 		absorbUS = flag.Int64("absorb-us", 50, "commit interval (µs) for the extra KVell+absorb pass; 0 skips it")
+		hotMB    = flag.Int64("hot-mb", 4, "hot-cache size (MB) for the extra KVell+hotcache passes; 0 skips them")
 	)
 	flag.Parse()
 
@@ -63,18 +64,33 @@ func main() {
 		failures += harness.CrashSweep(k, opts, os.Stdout)
 		names[i] = k.String()
 	}
-	// KVell runs a second pass with the write-absorption front end enabled:
-	// absorbed-then-acked writes must also survive a crash landing in the
-	// middle of a group commit.
-	if *absorbUS > 0 {
-		for _, k := range kinds {
-			if k != harness.KVell {
-				continue
-			}
+	// KVell runs extra passes with its front ends enabled: absorbed-then-
+	// acked writes must survive a crash landing mid-group-commit, and the
+	// hot-key cache must never be what satisfies the acked-write check —
+	// recovery rebuilds from disk alone, so a cached-but-unflushed value
+	// that mattered would surface here as a lost or impossible version.
+	for _, k := range kinds {
+		if k != harness.KVell {
+			continue
+		}
+		if *absorbUS > 0 {
 			ao := opts
 			ao.AbsorbInterval = env.Time(*absorbUS) * env.Microsecond
 			failures += harness.CrashSweep(k, ao, os.Stdout)
 			names = append(names, k.String()+"+absorb")
+		}
+		if *hotMB > 0 {
+			ho := opts
+			ho.TieredHotBytes = *hotMB << 20
+			failures += harness.CrashSweep(k, ho, os.Stdout)
+			names = append(names, k.String()+"+hotcache")
+		}
+		if *absorbUS > 0 && *hotMB > 0 {
+			bo := opts
+			bo.AbsorbInterval = env.Time(*absorbUS) * env.Microsecond
+			bo.TieredHotBytes = *hotMB << 20
+			failures += harness.CrashSweep(k, bo, os.Stdout)
+			names = append(names, k.String()+"+absorb+hotcache")
 		}
 	}
 	ran := *points

@@ -1,0 +1,68 @@
+// Command kvell-tier runs the hot/cold tiering sweep: open-loop read-mostly
+// Zipfian workloads on the slow cold-SSD profile across skew × hot-tier size,
+// every engine untiered as a baseline, reporting goodput, tail latency, and
+// the memory-hit-rate regimes per cell (see DESIGN.md §12 and
+// `kvell-bench -exp tiering` for the default grid).
+//
+// Usage:
+//
+//	kvell-tier                                  # default grid, full mode
+//	kvell-tier -quick -theta 0.99 -cachemb 0,24 # one skew, fast
+//	kvell-tier -rate 200000 -seed 7
+//
+// The sweep is deterministic per seed at any -parallel setting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"kvell/internal/harness"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		quick    = flag.Bool("quick", false, "shorter durations and smaller datasets")
+		parallel = flag.Int("parallel", 1, "concurrent simulations (0 = one per CPU)")
+		thetas   = flag.String("theta", "", "comma-separated zipfian thetas")
+		cachemb  = flag.String("cachemb", "", "comma-separated hot-tier sizes in MB (0 = tiering off)")
+		rate     = flag.Float64("rate", 0, "open-loop arrival rate, ops per virtual second (0 = default)")
+	)
+	flag.Parse()
+
+	n := *parallel
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	o := harness.Options{Quick: *quick, Seed: *seed, Parallel: n}
+
+	to := harness.TierOpts{
+		Thetas:  parseFloats("theta", *thetas),
+		CacheMB: parseFloats("cachemb", *cachemb),
+		Rate:    *rate,
+	}
+	harness.TierReport(o, to, os.Stdout)
+}
+
+// parseFloats splits a comma-separated flag value; empty means "use the
+// sweep's default list".
+func parseFloats(name, s string) []float64 {
+	if s == "" {
+		return nil
+	}
+	var vs []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvell-tier: -%s: bad value %q\n", name, f)
+			os.Exit(2)
+		}
+		vs = append(vs, v)
+	}
+	return vs
+}

@@ -187,6 +187,11 @@ func (w *worker) absorb(c env.Ctx, r *kv.Request, out *[]*aio.IO) bool {
 	if !w.ab.add(w, r, now) {
 		return false
 	}
+	if w.hot != nil {
+		// Mirror the buffered write into the hot tier immediately so the
+		// cached copy never lags the buffer it sits behind (see tiered.go).
+		w.hotAbsorb(c, r)
+	}
 	if w.ab.held >= w.st.cfg.AbsorbMaxHeld {
 		w.absorbOverflow = true
 	}

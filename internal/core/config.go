@@ -81,6 +81,28 @@ type Config struct {
 	// AbsorbMaxHeld bounds buffered (un-acked) requests per worker; the
 	// buffer is force-flushed at the bound (default 4×BatchSize).
 	AbsorbMaxHeld int
+
+	// TieredHotBytes, when > 0, enables the hot/cold tiering front end:
+	// each worker keeps a hot-key record cache (internal/hotcache) of its
+	// share of this many bytes above the page cache. Reads probe the cache
+	// after the absorb buffer and before the index; cold reads that repeat
+	// within the decay horizon are promoted; every write is written through
+	// or invalidated, so the cache never serves a value the store would not.
+	// The cache is a pure read accelerator — the disk stays authoritative,
+	// which is what keeps crash recovery unchanged. Incompatible with
+	// SharedEverything (the cache is per-worker state).
+	TieredHotBytes int64
+	// TieredSlotBytes is the arena slot size; records whose key+value exceed
+	// it are never cached (default 1024).
+	TieredSlotBytes int
+	// TieredHalfLife is the virtual-time half-life of the decayed access
+	// counters driving promotion and eviction (default 100ms).
+	TieredHalfLife env.Time
+	// TieredPromoteAfter is the decayed access count a cold key must reach
+	// before a read promotes it (default 2; 1 promotes on first touch).
+	TieredPromoteAfter int
+	// TieredSeed seeds the cache's ghost-table hash mix (per-worker salted).
+	TieredSeed int64
 }
 
 // DefaultConfig returns the paper's configuration over the given disks.
@@ -143,6 +165,20 @@ func (c *Config) validate() error {
 		}
 		if c.AbsorbMaxHeld <= 0 {
 			c.AbsorbMaxHeld = 4 * c.BatchSize
+		}
+	}
+	if c.TieredHotBytes > 0 {
+		if c.SharedEverything {
+			return fmt.Errorf("core: tiering requires shared-nothing workers")
+		}
+		if c.TieredSlotBytes <= 0 {
+			c.TieredSlotBytes = 1024
+		}
+		if c.TieredHalfLife <= 0 {
+			c.TieredHalfLife = 100 * env.Millisecond
+		}
+		if c.TieredPromoteAfter <= 0 {
+			c.TieredPromoteAfter = 2
 		}
 	}
 	return nil

@@ -10,6 +10,7 @@ import (
 	"kvell/internal/costs"
 	"kvell/internal/device"
 	"kvell/internal/env"
+	"kvell/internal/hotcache"
 	"kvell/internal/kv"
 	"kvell/internal/pagecache"
 	"kvell/internal/slab"
@@ -64,6 +65,15 @@ func Open(e env.Env, cfg Config) (*Store, error) {
 			w.tick = &flushTick{}
 			w.absorbMu = e.NewMutex()
 			w.absorbInterval = cfg.AbsorbInterval
+		}
+		if cfg.TieredHotBytes > 0 {
+			w.hot = hotcache.New(hotcache.Config{
+				CapBytes:     cfg.TieredHotBytes / int64(cfg.Workers),
+				SlotBytes:    cfg.TieredSlotBytes,
+				HalfLife:     cfg.TieredHalfLife,
+				PromoteAfter: uint32(cfg.TieredPromoteAfter),
+				Seed:         cfg.TieredSeed + int64(i),
+			})
 		}
 		s.workers = append(s.workers, w)
 	}
@@ -336,6 +346,13 @@ type Stats struct {
 	AbsorbReads   int64 // gets/RMW reads served from the buffer
 	AbsorbFlushes int64 // group commits
 	AbsorbWrites  int64 // surviving writes issued by group commits
+
+	// Hot-key cache counters (zero when tiering is disabled).
+	HotHits          int64 // reads served from the hot tier
+	HotMisses        int64 // hot-tier probes that fell through to the engine
+	HotPromotions    int64 // records promoted into the hot tier
+	HotDemotions     int64 // records demoted to make room
+	HotInvalidations int64 // cached records dropped by writes/deletes
 }
 
 // Stats returns aggregate statistics.
@@ -354,6 +371,13 @@ func (s *Store) Stats() Stats {
 			st.AbsorbReads += w.ab.reads
 			st.AbsorbFlushes += w.ab.flushes
 			st.AbsorbWrites += w.ab.groupedW
+		}
+		if w.hot != nil {
+			st.HotHits += w.hot.Hits()
+			st.HotMisses += w.hot.Misses()
+			st.HotPromotions += w.hot.Promotions()
+			st.HotDemotions += w.hot.Demotions()
+			st.HotInvalidations += w.hot.Invalidations()
 		}
 		for _, sl := range w.slabs {
 			st.FreeReused += sl.Free.Reused()

@@ -9,6 +9,7 @@ import (
 	"kvell/internal/device"
 	"kvell/internal/env"
 	"kvell/internal/freelist"
+	"kvell/internal/hotcache"
 	"kvell/internal/kv"
 	"kvell/internal/pagecache"
 	"kvell/internal/slab"
@@ -127,6 +128,9 @@ type worker struct {
 	absorbInterval env.Time
 	absorbStopped  bool
 	absorbOverflow bool
+
+	// Hot-key record cache (nil when tiering is disabled); see tiered.go.
+	hot *hotcache.Cache
 
 	reqs int64
 }
@@ -350,6 +354,11 @@ func (w *worker) start(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
 	}
 	switch r.Op {
 	case kv.OpGet:
+		// The hot tier is probed after the absorb buffer (whose copy is
+		// fresher for buffered keys) and before the index.
+		if w.hot != nil && w.hotGet(c, r) {
+			return
+		}
 		l, ok := w.lookup(c, r.Key)
 		if !ok {
 			w.respond(c, r, kv.Result{})
@@ -487,11 +496,17 @@ func (w *worker) doGetReq(c env.Ctx, r *kv.Request, l location, out *[]*aio.IO) 
 		c.CPU(w.cache.LookupCost())
 		if data := w.cache.Get(page); data != nil {
 			val := w.slotValue(c, sl, off, nil, data, &r.ValueBuf)
+			if w.hot != nil && val != nil {
+				w.hotAdmit(c, r.Key, val)
+			}
 			w.respond(c, r, kv.Result{Found: val != nil, Value: val})
 			return
 		}
 		w.readPage(c, page, func(c env.Ctx, data []byte, out *[]*aio.IO) {
 			val := w.slotValue(c, sl, off, nil, data, &r.ValueBuf)
+			if w.hot != nil && val != nil {
+				w.hotAdmit(c, r.Key, val)
+			}
 			w.respond(c, r, kv.Result{Found: val != nil, Value: val})
 		}, out)
 		return
@@ -569,6 +584,12 @@ func (w *worker) doGetKey(c env.Ctx, expect []byte, l location, fn func(c env.Ct
 // free-slot reuse (with free-list chain recovery), size-class migration and
 // multi-page append+tombstone.
 func (w *worker) doUpdate(c env.Ctx, key, value []byte, done func(c env.Ctx, out *[]*aio.IO), out *[]*aio.IO) {
+	if w.hot != nil {
+		// Write-through before the slab I/O: every durable-write path
+		// (direct, RMW, absorb flush) funnels through here, so a cached
+		// record can never lag the store.
+		w.hotWrite(c, key, value)
+	}
 	cls := slab.ClassFor(w.st.cfg.Classes, len(key), len(value))
 	if cls < 0 {
 		panic("core: item exceeds largest configured size class")
@@ -724,6 +745,9 @@ func (w *worker) doDelete(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
 // deleteKey removes key, invoking done once its tombstone is durable. It
 // returns false — without calling done — when the key does not exist.
 func (w *worker) deleteKey(c env.Ctx, key []byte, done func(c env.Ctx, out *[]*aio.IO), out *[]*aio.IO) bool {
+	if w.hot != nil {
+		w.hotInvalidate(c, key)
+	}
 	l, ok := w.lookup(c, key)
 	if !ok {
 		return false

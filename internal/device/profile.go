@@ -104,6 +104,29 @@ func AmazonNVMe() Profile {
 	}
 }
 
+// ColdSSD returns the Config-ColdSSD profile: a capacity-oriented slow SATA
+// SSD used as the cold tier in the tiering experiments. ~31K random-read
+// IOPS (4 channels x 130us), 10K random-write IOPS, a strong sequential
+// advantage and a modest mixed-workload read penalty. It is deliberately an
+// order of magnitude slower than Config-Optane on reads: a store that misses
+// its hot set pays for it here, which is what makes the hot-key cache's
+// 21%-vs-99% hit-rate dichotomy visible as a goodput cliff.
+func ColdSSD() Profile {
+	return Profile{
+		Name:           "Config-ColdSSD",
+		Channels:       4,
+		ReadSvc:        130_000,
+		WriteSvc:       400_000,
+		SeqReadFactor:  0.35,
+		SeqWriteFactor: 0.25,
+		MixReadPenalty: 1.3,
+		SpikeEvery:     15 * env.Second,
+		SpikeJitter:    7 * env.Second,
+		SpikeDurMin:    2 * env.Millisecond,
+		SpikeDurMax:    10 * env.Millisecond,
+	}
+}
+
 // SSD2013 returns the Config-SSD profile (Intel DC S3500, 2013): 75K read
 // IOPS, 50K burst / 11K sustained random-write IOPS, strong
 // sequential-write advantage, and ~100ms stalls under sustained writes.

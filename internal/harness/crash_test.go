@@ -65,6 +65,44 @@ func TestCrashMidGroupCommit(t *testing.T) {
 	}
 }
 
+// TestCrashWithHotCache crashes KVell with the hot-key cache enabled, alone
+// and stacked on the absorb front end. The cache is a read accelerator only:
+// recovery rebuilds from disk and starts with an empty cache, so if a
+// cached-but-unflushed value were ever what made an acked write "durable",
+// these points would report it as lost or recovered to an impossible
+// version. The runs must also actually exercise the cache — a crash sweep
+// where the hot tier never engaged proves nothing.
+func TestCrashWithHotCache(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		absorb env.Time
+	}{
+		{"hotcache", 0},
+		{"hotcache+absorb", 50 * env.Microsecond},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 1; i <= 4; i++ {
+				pointSeed, atWrite := SweepPoint(11, i)
+				res, err := RunCrash(CrashSpec{
+					Engine:         KVell,
+					Seed:           pointSeed,
+					Records:        4_000,
+					AtWrite:        atWrite,
+					AbsorbInterval: tc.absorb,
+					TieredHotBytes: 2 << 20,
+				})
+				if err != nil {
+					t.Fatalf("point %d (seed %d, atwrite %d): %v", i, pointSeed, atWrite, err)
+				}
+				if res.HotHits == 0 {
+					t.Fatalf("point %d: hot cache never served a read before the crash", i)
+				}
+			}
+		})
+	}
+}
+
 // TestCrashRecoverVerifyAllEngines runs a couple of seeded crash points per
 // engine — the bounded in-test version of `make crash-sweep`.
 func TestCrashRecoverVerifyAllEngines(t *testing.T) {

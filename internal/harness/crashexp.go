@@ -40,6 +40,11 @@ type CrashSpec struct {
 	// so the same verification applies: no acked version may be lost, even
 	// when the crash lands in the middle of a multi-write group commit.
 	AbsorbInterval env.Time
+	// TieredHotBytes enables KVell's hot-key cache (0 = off). The cache is
+	// a read accelerator, never a durability layer: a cached-but-unflushed
+	// value must never be what makes the acked-write check pass, because
+	// recovery rebuilds from disk alone and the cache starts empty.
+	TieredHotBytes int64
 }
 
 func (cs *CrashSpec) defaults() {
@@ -96,6 +101,9 @@ type CrashResult struct {
 	// Replayed is what the engine's recovery path reported: items scanned
 	// (KVell) or log records replayed (baselines).
 	Replayed int64
+	// HotHits is how often the hot-key cache served a read before the crash
+	// (KVell with TieredHotBytes only) — proof the sweep exercised it.
+	HotHits int64
 	// RecoverTime is the virtual time the reopen-and-recover step took.
 	RecoverTime env.Time
 	Digest      uint64
@@ -212,6 +220,9 @@ func RunCrash(spec CrashSpec) (CrashResult, error) {
 	}
 	res.CrashTime = inj.CrashTime()
 	res.Fault = inj.Stats()
+	if st, ok := eng.(*core.Store); ok {
+		res.HotHits = st.Stats().HotHits
+	}
 	snaps := inj.Snapshots()
 	if err := s1.Close(); err != nil {
 		panic(err)
@@ -358,8 +369,16 @@ func crashHarnessSpec(cs *CrashSpec) *Spec {
 		TweakWT:   func(c *wtree.Config) { c.Durable = true },
 		TweakBE:   func(c *betree.Config) { c.Durable = true },
 	}
-	if cs.AbsorbInterval > 0 {
-		hs.TweakKVell = func(c *core.Config) { c.AbsorbInterval = cs.AbsorbInterval }
+	if cs.AbsorbInterval > 0 || cs.TieredHotBytes > 0 {
+		hs.TweakKVell = func(c *core.Config) {
+			c.AbsorbInterval = cs.AbsorbInterval
+			if cs.TieredHotBytes > 0 {
+				c.TieredHotBytes = cs.TieredHotBytes
+				c.TieredSlotBytes = 1024
+				c.TieredPromoteAfter = 1
+				c.TieredSeed = cs.Seed
+			}
+		}
 	}
 	return hs
 }
@@ -379,6 +398,9 @@ type SweepOpts struct {
 	// AbsorbInterval runs every point with KVell's write-absorption front
 	// end at this commit interval (0 = off; KVell only).
 	AbsorbInterval env.Time
+	// TieredHotBytes runs every point with KVell's hot-key cache of this
+	// size (0 = off; KVell only).
+	TieredHotBytes int64
 }
 
 // SweepPoint returns the i-th (1-based) derived crash point for a master
@@ -415,20 +437,27 @@ func CrashSweep(kind EngineKind, o SweepOpts, w io.Writer) int {
 			Records:        o.Records,
 			AtWrite:        atWrite,
 			AbsorbInterval: o.AbsorbInterval,
+			TieredHotBytes: o.TieredHotBytes,
 		})
 		label := kind.String()
 		if o.AbsorbInterval > 0 {
 			label += "+absorb"
 		}
+		if o.TieredHotBytes > 0 {
+			label += "+hotcache"
+		}
 		if err != nil {
 			failures++
-			absorb := ""
+			extra := ""
 			if o.AbsorbInterval > 0 {
-				absorb = fmt.Sprintf(" -absorb-us=%d", int64(o.AbsorbInterval/env.Microsecond))
+				extra += fmt.Sprintf(" -absorb-us=%d", int64(o.AbsorbInterval/env.Microsecond))
+			}
+			if o.TieredHotBytes > 0 {
+				extra += fmt.Sprintf(" -hot-mb=%d", o.TieredHotBytes>>20)
 			}
 			fmt.Fprintf(w, "FAIL %-16s point %2d/%d: %v\n", label, i, o.Points, err)
 			fmt.Fprintf(w, "     repro: go run ./cmd/kvell-crash -engine=%s -seed=%d -point=%d%s\n",
-				engineFlag(kind), o.Seed, i, absorb)
+				engineFlag(kind), o.Seed, i, extra)
 			continue
 		}
 		if o.Verbose {

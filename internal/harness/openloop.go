@@ -153,6 +153,7 @@ func runOpenLoop(e *sim.Env, s *sim.Sim, spec *Spec, res *Result, eng kv.Engine,
 
 	admitQ := e.NewQueue()
 	filler, _ := gen.(Filler)
+	cfiller, _ := gen.(ClockedFiller)
 	var free []*kv.Request
 
 	shardFor := func(key []byte) int {
@@ -210,7 +211,11 @@ func runOpenLoop(e *sim.Env, s *sim.Sim, spec *Spec, res *Result, eng kv.Engine,
 					nr.Done = func(kv.Result) { finishOne(nr) }
 					r = nr
 				}
-				filler.FillNext(r)
+				if cfiller != nil {
+					cfiller.FillNextAt(r, arrived)
+				} else {
+					filler.FillNext(r)
+				}
 			} else {
 				nr := gen.Next()
 				if r != nil {

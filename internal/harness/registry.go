@@ -92,6 +92,7 @@ func All() []Experiment {
 		{"ablation-shared", "Shared-everything vs shared-nothing (§4.1)", ablationShared},
 		{"ablation-inplace", "In-place updates vs append+tombstone (§5.6 variant)", ablationInPlace},
 		{"absorb", "Write absorption: device-write reduction under open-loop skewed updates", absorbExp},
+		{"tiering", "Hot/cold tiering: hot-key cache vs a slow cold SSD across skews and cache sizes", tieringExp},
 		{"traceattr", "Latency attribution: Figure 2's tail spikes traced to their maintenance cause", traceAttr},
 		{"oldssd", "KVell on a 2013-era SSD: a trade-off, not a win (§6.5.4)", oldSSD},
 		{"cpuperio", "CPU-per-I/O cap on achievable IOPS (§6.4.1)", cpuPerIO},

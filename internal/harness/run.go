@@ -71,6 +71,15 @@ type Filler interface {
 	FillNext(*kv.Request)
 }
 
+// ClockedFiller is a Filler whose stream depends on virtual time (the YCSB
+// hot-set-shift mode). The harness prefers FillNextAt when available; a
+// generator with time-dependence disabled must make FillNextAt(r, now)
+// bit-identical to FillNext(r), which keeps golden digests unchanged.
+type ClockedFiller interface {
+	Filler
+	FillNextAt(*kv.Request, env.Time)
+}
+
 // Spec describes one benchmark run.
 type Spec struct {
 	Name    string
@@ -137,6 +146,36 @@ type Result struct {
 	Arrivals int64 // arrivals generated (admitted or not, whole run)
 	Shed     int64 // arrivals rejected by the valve in the window
 	Delayed  int64 // arrivals the valve held back in the window
+
+	// Engine cache accounting, snapshotted after the run: the page/block
+	// cache every engine has, plus KVell's hot-key record cache when
+	// tiering is enabled (all zero otherwise).
+	CacheHits     int64
+	CacheMisses   int64
+	HotHits       int64
+	HotMisses     int64
+	HotPromotions int64
+	HotDemotions  int64
+}
+
+// fillEngineStats snapshots per-engine cache counters into the result.
+func fillEngineStats(res *Result) {
+	switch e := res.Engine.(type) {
+	case *core.Store:
+		st := e.Stats()
+		res.CacheHits, res.CacheMisses = st.CacheHits, st.CacheMisses
+		res.HotHits, res.HotMisses = st.HotHits, st.HotMisses
+		res.HotPromotions, res.HotDemotions = st.HotPromotions, st.HotDemotions
+	case *lsm.DB:
+		st := e.Stats()
+		res.CacheHits, res.CacheMisses = st.BlockCacheHits, st.BlockCacheMisses
+	case *wtree.DB:
+		st := e.Stats()
+		res.CacheHits, res.CacheMisses = st.CacheHits, st.CacheMisses
+	case *betree.DB:
+		st := e.Stats()
+		res.CacheHits, res.CacheMisses = st.CacheHits, st.CacheMisses
+	}
 }
 
 func (s *Spec) defaults() {
@@ -306,10 +345,12 @@ func Run(spec Spec) Result {
 			panic(err)
 		}
 		res.Throughput = float64(res.Ops) / (float64(spec.Duration) / float64(env.Second))
+		fillEngineStats(&res)
 		return res
 	}
 	active := spec.Clients
 	filler, _ := gen.(Filler)
+	cfiller, _ := gen.(ClockedFiller)
 	for ci := 0; ci < spec.Clients; ci++ {
 		e.Go(fmt.Sprintf("client-%d", ci), func(c env.Ctx) {
 			outstanding := 0
@@ -358,7 +399,9 @@ func Run(spec Spec) Result {
 					free = free[:len(free)-1]
 				}
 				mu.Unlock(c)
-				if filler != nil {
+				if cfiller != nil {
+					cfiller.FillNextAt(r, c.Now())
+				} else if filler != nil {
 					filler.FillNext(r)
 				} else {
 					r = gen.Next()
@@ -411,6 +454,7 @@ func Run(spec Spec) Result {
 		panic(err)
 	}
 	res.Throughput = float64(res.Ops) / (float64(spec.Duration) / float64(env.Second))
+	fillEngineStats(&res)
 	return res
 }
 

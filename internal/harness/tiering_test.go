@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"testing"
+
+	"kvell/internal/core"
+	"kvell/internal/device"
+	"kvell/internal/env"
+)
+
+// tieredDeterminismSpec is an open-loop tiered KVell run on the cold-SSD
+// profile with the hot head rotating mid-run: it exercises the arrival
+// generator, the admission valve, the hot-cache promotion/demotion machinery
+// and the clocked workload generator in one schedule.
+func tieredDeterminismSpec(seed int64) Spec {
+	return Spec{
+		Name:      "tiered-determinism",
+		Engine:    KVell,
+		Seed:      seed,
+		Profile:   device.ColdSSD(),
+		Records:   5_000,
+		ItemSize:  512,
+		CacheFrac: TierCacheFrac,
+		Gen:       readMostlyGen(5_000, 512, 0.9, 50*env.Millisecond),
+		Duration:  200 * env.Millisecond,
+		Arrival:   &Arrival{Rate: 200_000, MaxPerShard: 128, Policy: Shed},
+		TweakKVell: func(c *core.Config) {
+			c.TieredHotBytes = 1 << 20
+			c.TieredSlotBytes = 512
+			c.TieredPromoteAfter = 1
+			c.TieredSeed = seed
+		},
+	}
+}
+
+// hotCounters is the tiering-specific half of a run's fingerprint.
+type hotCounters struct {
+	hits, misses, promos, demos int64
+}
+
+func hotCountersOf(r *Result) hotCounters {
+	return hotCounters{r.HotHits, r.HotMisses, r.HotPromotions, r.HotDemotions}
+}
+
+// Golden fingerprint for tieredDeterminismSpec(4321): locks the tiered
+// open-loop schedule — including every hot-cache counter — the same way the
+// absorb golden locks the absorb-enabled one. On mismatch the failure message
+// prints the measured values; update the constants only for changes *meant*
+// to alter tiered schedules.
+const (
+	tieredGoldenOps      = int64(34_885)
+	tieredGoldenLat      = uint64(0x9cd090525c6a439d)
+	tieredGoldenTimeline = uint64(0x2ec6a39156e9119d)
+)
+
+var tieredGoldenHot = hotCounters{hits: 32_009, misses: 9_490, promos: 6_316, demos: 4_268}
+
+func TestTieredGoldenDigest(t *testing.T) {
+	t.Parallel()
+	r := Run(tieredDeterminismSpec(4321))
+	fp := fingerprint{ops: r.Ops, lat: r.Lat.Digest(), timeline: r.Timeline.Digest()}
+	hc := hotCountersOf(&r)
+	if fp.ops != tieredGoldenOps || fp.lat != tieredGoldenLat || fp.timeline != tieredGoldenTimeline || hc != tieredGoldenHot {
+		t.Errorf("tiered schedule diverged from golden fingerprint\n got ops=%d lat=%#016x timeline=%#016x hot=%+v\nwant ops=%d lat=%#016x timeline=%#016x hot=%+v",
+			fp.ops, fp.lat, fp.timeline, hc, tieredGoldenOps, tieredGoldenLat, tieredGoldenTimeline, tieredGoldenHot)
+	}
+}
+
+func TestTieredSpecDeterminism(t *testing.T) {
+	t.Parallel()
+	a := Run(tieredDeterminismSpec(7))
+	if a.Ops == 0 {
+		t.Fatal("tiered open-loop run completed no operations")
+	}
+	if a.HotPromotions == 0 || a.HotHits == 0 {
+		t.Fatalf("hot tier never engaged: %+v", hotCountersOf(&a))
+	}
+	b := Run(tieredDeterminismSpec(7))
+	if a.Ops != b.Ops || a.Lat.Digest() != b.Lat.Digest() || a.Timeline.Digest() != b.Timeline.Digest() {
+		t.Errorf("same seed produced different tiered runs: ops %d vs %d", a.Ops, b.Ops)
+	}
+	if hotCountersOf(&a) != hotCountersOf(&b) {
+		t.Errorf("same seed produced different hot-cache counters\n first: %+v\nsecond: %+v", hotCountersOf(&a), hotCountersOf(&b))
+	}
+	c := Run(tieredDeterminismSpec(8))
+	if c.Lat.Digest() == a.Lat.Digest() && c.Timeline.Digest() == a.Timeline.Digest() {
+		t.Errorf("different seeds produced identical tiered runs: %+v", hotCountersOf(&a))
+	}
+}

@@ -11,6 +11,12 @@ import "kvell/internal/env"
 type Breakdown struct {
 	names []string
 	hists []*Hist
+
+	// Named event counters ride alongside the histograms: cheap monotonic
+	// tallies (cache hits, promotions, demotions) that want a place in the
+	// breakdown report and its digest but carry no duration.
+	ctrNames []string
+	ctrs     []int64
 }
 
 // NewBreakdown returns an empty breakdown with one histogram per name.
@@ -38,6 +44,27 @@ func (b *Breakdown) Add(i int, v env.Time) { b.hists[i].Add(v) }
 // Sum returns the total time recorded for component i.
 func (b *Breakdown) Sum(i int) float64 { return b.hists[i].sum }
 
+// AddCounters registers named event counters, returning the index of the
+// first. Counters are independent of the histogram components.
+func (b *Breakdown) AddCounters(names ...string) int {
+	first := len(b.ctrNames)
+	b.ctrNames = append(b.ctrNames, names...)
+	b.ctrs = append(b.ctrs, make([]int64, len(names))...)
+	return first
+}
+
+// Count adds n to counter i.
+func (b *Breakdown) Count(i int, n int64) { b.ctrs[i] += n }
+
+// Counters returns the number of registered counters.
+func (b *Breakdown) Counters() int { return len(b.ctrNames) }
+
+// CounterName returns the i-th counter's name.
+func (b *Breakdown) CounterName(i int) string { return b.ctrNames[i] }
+
+// Counter returns the i-th counter's value.
+func (b *Breakdown) Counter(i int) int64 { return b.ctrs[i] }
+
 // Digest returns an FNV-1a hash over every component's name and full
 // histogram state, for determinism regression tests.
 func (b *Breakdown) Digest() uint64 {
@@ -47,6 +74,12 @@ func (b *Breakdown) Digest() uint64 {
 			d.word(uint64(ch))
 		}
 		d.word(b.hists[i].Digest())
+	}
+	for i, name := range b.ctrNames {
+		for _, ch := range []byte(name) {
+			d.word(uint64(ch))
+		}
+		d.word(uint64(b.ctrs[i]))
 	}
 	return uint64(d)
 }

@@ -41,13 +41,29 @@ const (
 	CompDevQueue          // device queue wait (submit -> service start)
 	CompDevService        // device service time
 	CompAbsorb            // held in the write-absorption buffer awaiting group commit
+	CompHotCache          // hot-key record-cache probe and value copy on a tiered hit
 	CompOther             // remainder of end-to-end latency not booked above
 	NumComponents
 )
 
 // CompNames names the components, indexed by the constants above.
 var CompNames = [NumComponents]string{
-	"queue", "cpu", "cpu-queue", "lock", "stall", "dev-queue", "dev-service", "absorb", "other",
+	"queue", "cpu", "cpu-queue", "lock", "stall", "dev-queue", "dev-service", "absorb", "hotcache", "other",
+}
+
+// Event counters folded into the breakdown (see stats.Breakdown.AddCounters):
+// monotonic tallies with no duration, recorded per finished tracer.
+const (
+	CtrHotHit     = iota // request served from the hot-key cache
+	CtrHotMiss           // hot-key cache probed and missed
+	CtrHotPromote        // record promoted into the hot tier
+	CtrHotDemote         // record demoted to make room
+	NumCounters
+)
+
+// CtrNames names the counters, indexed by the constants above.
+var CtrNames = [NumCounters]string{
+	"hot-hit", "hot-miss", "hot-promote", "hot-demote",
 }
 
 // Span kinds.
@@ -161,6 +177,15 @@ func (c *Ctx) EndQueue(now env.Time) {
 	c.Add(CompQueue, c.qMark, now)
 }
 
+// Count adds n to the tracer-wide event counter ctr (one of the Ctr*
+// constants). Counters are pure observability: no events, no CPU, no locks.
+func (c *Ctx) Count(ctr int, n int64) {
+	if c == nil {
+		return
+	}
+	c.tr.breakdown.Count(ctr, n)
+}
+
 // Span records a named engine-internal interval (sampled contexts only).
 // Named spans are annotations: they overlap the component intervals and are
 // not part of the breakdown accounting.
@@ -216,13 +241,15 @@ type Tracer struct {
 // NewTracer returns a tracer sampling one request in sampleEvery (0 disables
 // span recording; component breakdowns are always on).
 func NewTracer(sampleEvery int) *Tracer {
-	return &Tracer{
+	t := &Tracer{
 		sampleEvery: uint64(sampleEvery),
 		total:       stats.NewHist(),
 		breakdown:   stats.NewBreakdown(CompNames[:]...),
 		covMin:      1,
 		digest:      stats.NewFNV(),
 	}
+	t.breakdown.AddCounters(CtrNames[:]...)
+	return t
 }
 
 func (t *Tracer) get() *Ctx {

@@ -1,0 +1,110 @@
+package ycsb
+
+import (
+	"testing"
+
+	"kvell/internal/env"
+	"kvell/internal/kv"
+)
+
+// Golden digests for the hot-set-shift stream: StreamDigest folds op codes
+// and key hashes of the first n operations, advancing the virtual clock by
+// step per op, so rotation epochs are crossed mid-stream. On mismatch the
+// failure message prints the measured digest; update the constants only for
+// changes meant to alter workload streams (mirrors TestArrivalGenGoldenDigest).
+func TestHotShiftGoldenDigest(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		wl    byte
+		seed  int64
+		every env.Time
+		shift int64
+		want  uint64
+	}{
+		{"shift-b", 'B', 7, 250 * env.Millisecond, 11, 0x59070c8c4ffcdd5a},
+		{"shift-c", 'C', 13, 100 * env.Millisecond, 3, 0xa29fe1182f152913},
+		{"noshift-b", 'B', 7, 0, 0, 0xbae04e11cd5930f1},
+	} {
+		g := NewGenerator(Core(tc.wl), Zipfian, 20_000, 1024, tc.seed)
+		if tc.every > 0 {
+			g.SetHotShift(tc.every, tc.shift)
+		}
+		if got := g.StreamDigest(100_000, 5*env.Microsecond); got != tc.want {
+			t.Errorf("%s: digest %#016x, want %#016x", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestHotShiftDisabledBitIdentical pins the central determinism contract:
+// with shifting disabled, FillNextAt is FillNext — same RNG draws, same keys,
+// same values, op for op.
+func TestHotShiftDisabledBitIdentical(t *testing.T) {
+	a := NewGenerator(Core('B'), Zipfian, 10_000, 1024, 42)
+	b := NewGenerator(Core('B'), Zipfian, 10_000, 1024, 42)
+	var ra, rb kv.Request
+	now := env.Time(0)
+	for i := 0; i < 50_000; i++ {
+		a.FillNext(&ra)
+		b.FillNextAt(&rb, now)
+		if ra.Op != rb.Op || string(ra.Key) != string(rb.Key) || string(ra.Value) != string(rb.Value) {
+			t.Fatalf("op %d diverged: %v %q vs %v %q", i, ra.Op, ra.Key, rb.Op, rb.Key)
+		}
+		now += 3 * env.Microsecond
+	}
+}
+
+// TestHotShiftRotatesHead verifies that crossing an epoch boundary actually
+// moves the hot set: the most-frequent keys of consecutive epochs must be
+// (mostly) disjoint, while within one epoch the stream stays skewed.
+func TestHotShiftRotatesHead(t *testing.T) {
+	g := NewGenerator(Core('C'), Zipfian, 20_000, 1024, 5)
+	g.SetHotShift(100*env.Millisecond, 17)
+	topKeys := func(at env.Time) map[int64]bool {
+		counts := map[int64]int{}
+		var r kv.Request
+		for i := 0; i < 30_000; i++ {
+			g.FillNextAt(&r, at)
+			counts[kv.KeyNum(r.Key)]++
+		}
+		top := map[int64]bool{}
+		for k, n := range counts {
+			if n >= 300 { // ~1% of draws: the Zipfian head
+				top[k] = true
+			}
+		}
+		return top
+	}
+	e0 := topKeys(10 * env.Millisecond)
+	e1 := topKeys(110 * env.Millisecond)
+	if len(e0) == 0 || len(e1) == 0 {
+		t.Fatalf("no hot head found: %d/%d hot keys", len(e0), len(e1))
+	}
+	overlap := 0
+	for k := range e0 {
+		if e1[k] {
+			overlap++
+		}
+	}
+	if overlap*2 >= len(e0) {
+		t.Fatalf("hot head barely moved across epochs: %d/%d keys shared", overlap, len(e0))
+	}
+}
+
+// The shift path must stay allocation free: it is on the open-loop
+// dispatcher's per-operation path.
+func TestAllocBudgetHotShiftFillNext(t *testing.T) {
+	g := NewGenerator(Core('B'), Zipfian, 100_000, 1024, 7)
+	g.SetHotShift(50*env.Millisecond, 9)
+	var r kv.Request
+	now := env.Time(0)
+	for i := 0; i < 100; i++ {
+		g.FillNextAt(&r, now)
+		now += env.Microsecond
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		now += env.Microsecond
+		g.FillNextAt(&r, now)
+	}); n != 0 {
+		t.Errorf("FillNextAt allocates %v per op, want 0", n)
+	}
+}

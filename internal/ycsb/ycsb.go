@@ -17,8 +17,10 @@ import (
 	"math"
 	"math/rand"
 
+	"kvell/internal/env"
 	"kvell/internal/kv"
 	"kvell/internal/slab"
+	"kvell/internal/stats"
 )
 
 // Distribution selects how record numbers are drawn.
@@ -154,6 +156,14 @@ type Generator struct {
 	r        *rand.Rand
 	z        *zipf
 	version  uint64
+
+	// Hot-set shift (SetHotShift): the scrambled-Zipfian head rotates to a
+	// seeded pseudo-random offset every shiftEvery of virtual time. now is
+	// the virtual clock of the latest FillNextAt; with shiftEvery zero the
+	// draw path is untouched and streams are bit-identical to FillNext.
+	shiftEvery env.Time
+	shiftSeed  int64
+	now        env.Time
 }
 
 // NewGenerator returns a generator over records initial records producing
@@ -202,6 +212,56 @@ func (g *Generator) InitialItems() []kv.Item {
 	return items
 }
 
+// SetHotShift enables deterministic hot-set rotation for the Zipfian
+// distribution: every `every` of virtual time the rank-to-record mapping
+// rotates by a seeded pseudo-random offset, moving the workload's hot head
+// to a different part of the key space — the churn that exercises demotion
+// in a tiered store. The rotation draws nothing from the generator's RNG, so
+// op mix and rank sequence are unchanged; only the record identities move.
+// Pass every = 0 to disable (the default).
+func (g *Generator) SetHotShift(every env.Time, seed int64) {
+	g.shiftEvery = every
+	g.shiftSeed = seed
+}
+
+// FillNextAt is FillNext at virtual time now, which selects the hot-set
+// epoch when shifting is enabled. With shifting disabled it is FillNext
+// exactly (same RNG draws, same bits).
+func (g *Generator) FillNextAt(r *kv.Request, now env.Time) {
+	g.now = now
+	g.FillNext(r)
+}
+
+// hotShift returns the current epoch's rotation offset: a splitmix64 mix of
+// the seed and the epoch number, reduced to the record domain.
+func (g *Generator) hotShift() int64 {
+	epoch := uint64(g.now / g.shiftEvery)
+	x := uint64(g.shiftSeed)*0x9E3779B97F4A7C15 + epoch
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x % uint64(g.records))
+}
+
+// StreamDigest folds the op codes and key hashes of the next n operations
+// into an FNV-1a word, advancing the virtual clock by step per op — the
+// golden-digest hook for hot-set-shift schedules (the workload analogue of
+// ArrivalGen.Digest). It consumes the generator.
+func (g *Generator) StreamDigest(n int, step env.Time) uint64 {
+	d := stats.NewFNV()
+	var r kv.Request
+	now := env.Time(0)
+	for i := 0; i < n; i++ {
+		g.FillNextAt(&r, now)
+		d.Word(uint64(r.Op))
+		d.Word(kv.Hash64(r.Key))
+		now += step
+	}
+	return uint64(d)
+}
+
 // nextRecord draws a record number according to the distribution.
 func (g *Generator) nextRecord() int64 {
 	switch g.dist {
@@ -209,6 +269,9 @@ func (g *Generator) nextRecord() int64 {
 		// Scrambled Zipfian: spread the hot items over the key space. The
 		// key is formatted into a stack buffer only to feed the hash.
 		v := g.z.next(g.r)
+		if g.shiftEvery > 0 {
+			v = (v + g.hotShift()) % g.records
+		}
 		var kb [kv.KeyLen]byte
 		kv.FillKey(kb[:], v)
 		return int64(kv.Hash64(kb[:]) % uint64(g.records))
