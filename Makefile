@@ -7,7 +7,7 @@ BENCH_PKGS = ./internal/sim ./internal/slab ./internal/pagecache \
 	./internal/ycsb ./internal/btree ./internal/stats \
 	./internal/core ./internal/harness ./internal/hotcache
 
-.PHONY: all build vet fmt-check lint test race check bench alloc-budget crash-sweep trace absorb tier
+.PHONY: all build vet fmt-check lint test race check bench alloc-budget crash-sweep trace absorb tier cluster
 
 # Crash sweep knobs: SEED picks the deterministic schedule (a CI failure
 # prints the seed to rerun here), K is points per engine, ENGINE narrows to
@@ -75,6 +75,19 @@ absorb:
 # Deterministic per SEED.
 tier:
 	$(GO) run ./cmd/kvell-tier -quick -parallel 0 -seed $(SEED) -theta $(THETA) -cachemb $(CACHEMB)
+
+# Cluster sweep knobs (`make cluster`): comma-separated machine counts and
+# the replication factor for the failover run.
+MACHINES ?= 1,2,4,8
+KILLRF ?= 2
+
+# Multi-machine cluster experiment (see DESIGN.md §13): weak-scaling YCSB
+# sweep over MACHINES sharded KVell servers on a simulated 10GbE fabric,
+# then a kill-one-shard failover run at RF=$(KILLRF) verifying no
+# acknowledged write is lost. Deterministic per SEED; digests printed per
+# run. `make cluster MACHINES=1,2,4 SEED=7` reproduces any CI row exactly.
+cluster:
+	$(GO) run ./cmd/kvell-cluster -machines $(MACHINES) -seed $(SEED) -failover-rf $(KILLRF)
 
 # Traced runs (see DESIGN.md §10): writes Chrome trace JSON (Perfetto) and
 # per-component latency breakdown tables for an LSM and a KVell run into

@@ -85,9 +85,17 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"errflow.go", "internal/sim"},
 		{"ptrleak.go", "internal/stats"},
 		{"edgecases.go", "internal/core"},
+		// The cluster-model packages are sim-driven like internal/core: both
+		// position-sensitive analyzers must fire there with no allowlist
+		// entry (raw goroutines or wall-clock reads in the network or
+		// replication path would silently break cluster determinism).
+		{"walltime.go", "internal/net"},
+		{"goroutine.go", "internal/net"},
+		{"walltime.go", "internal/cluster"},
+		{"goroutine.go", "internal/cluster"},
 	}
 	for _, tc := range cases {
-		t.Run(tc.fixture, func(t *testing.T) {
+		t.Run(tc.fixture+"@"+tc.rel, func(t *testing.T) {
 			diags, lines := checkFixture(t, tc.rel, "testdata/"+tc.fixture, tc.fixture)
 			want := wantMarkers(lines)
 			got := gotKeys(diags)

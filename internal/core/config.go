@@ -103,6 +103,15 @@ type Config struct {
 	TieredPromoteAfter int
 	// TieredSeed seeds the cache's ghost-table hash mix (per-worker salted).
 	TieredSeed int64
+
+	// OnIndexUpdate, when set, is called synchronously whenever a worker
+	// (re)locates or deletes a key in its in-memory index during normal
+	// operation — not during bulk load or recovery, whose state the caller
+	// obtains by other means (initial snapshot, full-scan rebuild). The
+	// cluster replication layer uses it to ship index entries to followers
+	// alongside the slab pages. The callback runs on the worker's thread,
+	// must not block or park, and must not retain key.
+	OnIndexUpdate func(worker int, key []byte, loc uint64, del bool)
 }
 
 // DefaultConfig returns the paper's configuration over the given disks.

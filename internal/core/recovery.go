@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"kvell/internal/aio"
 	"kvell/internal/costs"
@@ -139,12 +140,19 @@ func (w *worker) recoverSlab(c env.Ctx, sl *slab.Slab) error {
 	// Free-list heads: tombstones nobody points to. A chain pointer to a
 	// slot that is no longer a tombstone (reused after its chain was
 	// recorded) is stale; such targets were handled when they were
-	// overwritten, so only existing tombstones count.
-	for slot, chain := range tombs {
-		_ = chain
+	// overwritten, so only existing tombstones count. Heads are pushed in
+	// slot order: map iteration order would leak into the post-recovery
+	// allocation order, which must be reproducible (a promoted cluster
+	// replica keeps serving inside a live deterministic simulation).
+	heads := make([]uint64, 0, len(tombs))
+	for slot := range tombs {
 		if !pointedTo[slot] {
-			sl.Free.PushHead(slot)
+			heads = append(heads, slot)
 		}
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+	for _, slot := range heads {
+		sl.Free.PushHead(slot)
 	}
 	return nil
 }

@@ -142,6 +142,14 @@ func (s *Store) workerFor(key []byte) *worker {
 	return w.state // shared mode: one state owner
 }
 
+// LookupLoc returns the raw index location for key, or false if absent. A
+// pure in-memory read with no CPU charge and no events — diagnostics and
+// replica-index validation only, never the data path (which charges index
+// descent costs via the worker's lookup).
+func (s *Store) LookupLoc(key []byte) (uint64, bool) {
+	return s.workerFor(key).idx.Get(key)
+}
+
 // Submit implements kv.Engine. Point operations are enqueued to the owning
 // worker (the client thread only computes the hash, §5.5); scans execute on
 // the calling thread, coordinating with workers (§5.5 Scan).

@@ -8,11 +8,15 @@ import (
 	"kvell/internal/kv"
 )
 
-// Scratch repro (review only, not for commit): a cold Get whose page read is
-// in flight when a same-key Update is processed can admit the PRE-update
-// value into the hot cache after the update's write-through ran, leaving the
-// cache permanently stale.
-func TestScratchStaleAdmitRace(t *testing.T) {
+// Regression test for the hot-cache stale-admit race: a cold Get whose page
+// read is in flight when a same-key Update is processed must not admit the
+// PRE-update value into the hot cache after the update's write-through ran —
+// that would leave the cache permanently stale (an acked update followed by
+// reads of the old value). The tiered layer guards against it by
+// invalidating in-flight admissions on write-through; this test drives the
+// exact interleaving (cold read racing an update on one worker) and fails
+// with a stale read if the guard is ever lost.
+func TestHotCacheStaleAdmitRace(t *testing.T) {
 	cfg := func(c *Config) {
 		c.Workers = 1
 		c.PageCachePages = 1 // evict aggressively so reads go async

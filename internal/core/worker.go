@@ -339,6 +339,9 @@ func (w *worker) indexPut(c env.Ctx, key []byte, l location) {
 	w.idxMu.Lock(c)
 	w.idx.Put(key, uint64(l))
 	w.idxMu.Unlock(c)
+	if fn := w.st.cfg.OnIndexUpdate; fn != nil {
+		fn(w.id, key, uint64(l), false)
+	}
 }
 
 func (w *worker) indexDelete(c env.Ctx, key []byte) {
@@ -346,6 +349,9 @@ func (w *worker) indexDelete(c env.Ctx, key []byte) {
 	w.idxMu.Lock(c)
 	w.idx.Delete(key)
 	w.idxMu.Unlock(c)
+	if fn := w.st.cfg.OnIndexUpdate; fn != nil {
+		fn(w.id, key, 0, true)
+	}
 }
 
 func (w *worker) start(c env.Ctx, r *kv.Request, out *[]*aio.IO) {

@@ -111,6 +111,12 @@ type SimDisk struct {
 	Util       *stats.Util     // channel busy intervals
 	Tracer     *trace.Tracer   // span tracing (spikes, per-channel service)
 	ID         int             // disk index, used to label trace tracks
+
+	// Machine is the sim machine domain the disk is attached to: completion
+	// events are addressed to it, so halting the machine (sim.Halt) makes
+	// queued completions vanish exactly like the machine's procs. Zero for
+	// single-machine simulations.
+	Machine int
 }
 
 // NewSimDisk returns a simulated disk with the given profile and backing
@@ -262,7 +268,7 @@ func (d *SimDisk) Submit(r *Request) {
 	cp.n = n
 	cp.submitted = r.Submitted
 	cp.reqDone = r.Done
-	d.s.At(done, cp.fn)
+	d.s.AtOn(d.Machine, done, cp.fn)
 }
 
 // simCompl is a pooled completion record; fn is created once per record and

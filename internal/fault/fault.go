@@ -5,7 +5,9 @@
 // dropped, completed, or torn (a prefix-free per-page subset persists) under
 // a seeded RNG, the backing stores are snapshotted as "the disk at reboot",
 // and the simulation freezes (sim.Stop) so no further event — completions,
-// timers, acknowledgements — can run. Everything the injector does consumes
+// timers, acknowledgements — can run; in cluster mode (Config.HaltMachine)
+// only the dead machine's event domain is halted (sim.Halt) and the
+// surviving machines keep running, which is the failover model. Everything the injector does consumes
 // randomness from one rand.Rand in a fixed order (disks in Wrap order,
 // writes in submission order), so a crash schedule is bit-reproducible from
 // the seed alone.
@@ -50,6 +52,16 @@ type Config struct {
 	// The Nth write itself is still in flight at the crash and subject to
 	// the power-loss model.
 	AtWrite int64
+
+	// HaltMachine scopes death to the sim machine domain Machine: instead
+	// of freezing the whole simulation (sim.Stop) the injector halts only
+	// that machine's event domain (sim.Halt), so the rest of a simulated
+	// cluster keeps running — the failover model. The power-loss settlement
+	// and the disk snapshots are identical in both modes.
+	HaltMachine bool
+	// Machine is the machine domain to halt when HaltMachine is set (the
+	// wrapped disks and the engine's procs must all belong to it).
+	Machine int
 }
 
 // Stats summarizes what the crash did.
@@ -109,7 +121,11 @@ func (inj *Injector) Wrap(d *device.SimDisk) *Disk {
 // trigger needs no arming; it fires from Submit.
 func (inj *Injector) Arm() {
 	if inj.cfg.AtTime > 0 {
-		inj.s.At(inj.cfg.AtTime, inj.trip)
+		if inj.cfg.HaltMachine {
+			inj.s.AtOn(inj.cfg.Machine, inj.cfg.AtTime, inj.trip)
+		} else {
+			inj.s.At(inj.cfg.AtTime, inj.trip)
+		}
 	}
 }
 
@@ -162,7 +178,11 @@ func (inj *Injector) trip() {
 		d.dead = true
 		d.snap = d.store.Snapshot()
 	}
-	inj.s.Stop()
+	if inj.cfg.HaltMachine {
+		inj.s.Halt(inj.cfg.Machine)
+	} else {
+		inj.s.Stop()
+	}
 }
 
 // Disk is a fault-wrapped simulated disk. It satisfies device.Disk, exposes

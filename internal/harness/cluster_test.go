@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"testing"
+
+	"kvell/internal/env"
+)
+
+// clusterTestSpec is the CI-sized cluster run: small per-machine dataset,
+// short workload, default placement/network. Everything downstream of the
+// spec is deterministic in Seed.
+func clusterTestSpec(machines int, seed int64) ClusterSpec {
+	return ClusterSpec{
+		Machines:          machines,
+		RF:                1,
+		Seed:              seed,
+		RecordsPerMachine: 4_000,
+		Duration:          200 * env.Millisecond,
+	}
+}
+
+// clusterFailoverSpec kills machine 1 of a replicated 3-machine cluster a
+// third of the way into the workload.
+func clusterFailoverSpec(seed int64) ClusterSpec {
+	s := clusterTestSpec(3, seed)
+	s.RF = 2
+	s.Failover = true
+	s.KillMachine = 1
+	return s
+}
+
+// Golden digests for the cluster schedules: the full observable outcome of a
+// run (ops, latency shape, network traffic, replication stream, failover
+// recovery state) folded to one FNV word. Any change to the simulator kernel,
+// network model, placement, replication protocol or promotion path moves
+// them. On mismatch the failure prints the measured digest; re-pin only for
+// changes *meant* to alter cluster schedules.
+const (
+	clusterGolden1        = uint64(0x77d56b88d7c9fc5a)
+	clusterGolden2        = uint64(0x7946be329a8dc11b)
+	clusterGoldenFailover = uint64(0x95dfe6c9b12ccd14)
+)
+
+func TestClusterGoldenDigest(t *testing.T) {
+	t.Parallel()
+	for _, c := range []struct {
+		name string
+		spec ClusterSpec
+		want uint64
+	}{
+		{"1-machine", clusterTestSpec(1, 1), clusterGolden1},
+		{"2-machine", clusterTestSpec(2, 1), clusterGolden2},
+		{"failover", clusterFailoverSpec(1), clusterGoldenFailover},
+	} {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunCluster(c.spec)
+			if err != nil {
+				t.Fatalf("cluster run failed: %v", err)
+			}
+			if res.Digest != c.want {
+				t.Errorf("cluster schedule diverged from golden digest\n got %016x\nwant %016x\n(completed=%d failed=%d net msgs=%d shipped pages=%d entries=%d)",
+					res.Digest, c.want, res.Completed, res.FailedOps,
+					res.Net.Msgs, res.PagesShipped, res.EntriesShipped)
+			}
+		})
+	}
+}
+
+// Same seed, same digest — including the failover path (seeded promotion
+// choice, full-scan recovery on the promoted replica, client sweep).
+func TestClusterSameSeedDeterminism(t *testing.T) {
+	t.Parallel()
+	for _, spec := range []ClusterSpec{clusterTestSpec(2, 7), clusterFailoverSpec(7)} {
+		a, errA := RunCluster(spec)
+		b, errB := RunCluster(spec)
+		if errA != nil || errB != nil {
+			t.Fatalf("cluster runs failed: %v / %v", errA, errB)
+		}
+		if a.Digest != b.Digest {
+			t.Errorf("same seed produced different cluster schedules: %016x vs %016x (completed %d vs %d)",
+				a.Digest, b.Digest, a.Completed, b.Completed)
+		}
+		if a.Completed == 0 {
+			t.Error("cluster run completed no operations")
+		}
+	}
+}
+
+// Replication under RF=2 actually ships state and delays write acks at the
+// barrier, without failover in the picture.
+func TestClusterReplicationShipsState(t *testing.T) {
+	t.Parallel()
+	spec := clusterTestSpec(2, 3)
+	spec.RF = 2
+	res, err := RunCluster(spec)
+	if err != nil {
+		t.Fatalf("cluster run failed: %v", err)
+	}
+	if res.PagesShipped == 0 || res.EntriesShipped == 0 || res.BytesShipped == 0 {
+		t.Errorf("replication shipped nothing: pages=%d entries=%d bytes=%d",
+			res.PagesShipped, res.EntriesShipped, res.BytesShipped)
+	}
+	if res.ReplTime == 0 {
+		t.Error("no time was attributed to the replication barrier (CompReplicate)")
+	}
+	if res.Updates == 0 {
+		t.Error("workload performed no updates")
+	}
+}
+
+// The failover contract: machine 1 dies mid-workload, a seeded-RNG follower
+// is promoted through the ordinary full-scan recovery, and not one
+// acknowledged write is lost. The promoted replica's index must agree with
+// the shipped replication stream for every key that was not in flight at the
+// kill.
+func TestClusterFailoverNoAckedWriteLost(t *testing.T) {
+	t.Parallel()
+	res, err := RunCluster(clusterFailoverSpec(11))
+	if err != nil {
+		t.Fatalf("failover run failed: %v", err)
+	}
+	if res.Promoted == res.Machines || res.Promoted < 0 || res.Promoted == 1 {
+		t.Errorf("promoted machine %d is not a surviving follower", res.Promoted)
+	}
+	if res.CrashTime == 0 {
+		t.Error("the kill never happened")
+	}
+	if res.Verified == 0 {
+		t.Error("verification read back no keys from the promoted store")
+	}
+	if res.Lost != 0 {
+		t.Errorf("%d acknowledged writes lost after promotion", res.Lost)
+	}
+	if res.Checked == 0 {
+		t.Error("replica index validation checked no entries")
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("%d replicated index entries disagree with recovery", res.Mismatches)
+	}
+	if res.Frontier == 0 {
+		t.Error("promoted replica applied no replication records")
+	}
+	if res.Net.Dropped == 0 {
+		t.Error("no messages were dropped at the dead machine")
+	}
+}
+
+// Weak scaling: 4 machines must beat 1 machine by a healthy margin even at
+// CI sizes (the full ≥6×-at-8 criterion is checked by the cluster experiment
+// and the nightly sweep; this is the smoke version).
+func TestClusterMiniSweepScaling(t *testing.T) {
+	t.Parallel()
+	one, err := RunCluster(clusterTestSpec(1, 1))
+	if err != nil {
+		t.Fatalf("1-machine run failed: %v", err)
+	}
+	four, err := RunCluster(clusterTestSpec(4, 1))
+	if err != nil {
+		t.Fatalf("4-machine run failed: %v", err)
+	}
+	speedup := four.ThroughputOps / one.ThroughputOps
+	if speedup < 3.0 {
+		t.Errorf("4-machine speedup = %.2fx, want >= 3.0x (1m: %.0f ops/s, 4m: %.0f ops/s)",
+			speedup, one.ThroughputOps, four.ThroughputOps)
+	}
+}

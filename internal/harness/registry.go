@@ -93,6 +93,7 @@ func All() []Experiment {
 		{"ablation-inplace", "In-place updates vs append+tombstone (§5.6 variant)", ablationInPlace},
 		{"absorb", "Write absorption: device-write reduction under open-loop skewed updates", absorbExp},
 		{"tiering", "Hot/cold tiering: hot-key cache vs a slow cold SSD across skews and cache sizes", tieringExp},
+		{"cluster", "Sharded KVell across simulated machines: YCSB scaling and leader failover", clusterExp},
 		{"traceattr", "Latency attribution: Figure 2's tail spikes traced to their maintenance cause", traceAttr},
 		{"oldssd", "KVell on a 2013-era SSD: a trade-off, not a win (§6.5.4)", oldSSD},
 		{"cpuperio", "CPU-per-I/O cap on achievable IOPS (§6.4.1)", cpuPerIO},

@@ -1,0 +1,116 @@
+// Package net models the cluster interconnect: N simulated machines joined
+// by point-to-point links, each link a calibrated latency/bandwidth queueing
+// station with the same FCFS discipline as a device channel
+// (internal/device). The fabric is switched and non-blocking: every ordered
+// machine pair has its own link station, so traffic between A and B never
+// queues behind traffic between A and C — the model of a datacenter ToR
+// switch, not a shared bus.
+//
+// A message is transmitted (size/bandwidth seconds of link occupancy, FCFS
+// behind earlier messages on the same link), then propagates (one-way
+// latency), then its deliver callback runs on the destination machine's
+// event domain. Messages to or from a halted machine are dropped — packets
+// addressed to the dead, or still in the NIC of the dead, vanish — which is
+// exactly what the failover experiments rely on.
+//
+// Everything is deterministic: same sends in the same order produce the same
+// deliveries in the same order (link stations are FCFS, simultaneous
+// deliveries dispatch in send order through the kernel's same-time FIFO
+// lane), and the package draws no randomness and never blocks.
+package net
+
+import (
+	"kvell/internal/env"
+	"kvell/internal/sim"
+	"kvell/internal/trace"
+)
+
+// Profile calibrates one link direction.
+type Profile struct {
+	Name string
+	// Latency is the one-way propagation delay, added after transmission.
+	Latency env.Time
+	// BytesPerSec is the link bandwidth per direction.
+	BytesPerSec int64
+	// Channels is the number of parallel lanes per directed link (1 models
+	// a single NIC queue per peer).
+	Channels int
+}
+
+// TenGbE is a 10 Gbit/s datacenter link: 1.25 GB/s per direction with 10µs
+// one-way latency (same-rack RTT ~20µs, the regime the KVell paper's
+// Config-Amazon machines live in).
+func TenGbE() Profile {
+	return Profile{Name: "10GbE", Latency: 10 * env.Microsecond, BytesPerSec: 1_250_000_000, Channels: 1}
+}
+
+// Counters is a snapshot of network activity.
+type Counters struct {
+	Msgs    int64 // messages delivered or in flight
+	Bytes   int64 // payload bytes of those messages
+	Dropped int64 // messages dropped at Send because an endpoint was halted
+}
+
+// Network joins machines 0..n-1 of one Sim.
+type Network struct {
+	s     *sim.Sim
+	prof  Profile
+	n     int
+	links []*sim.Station // ordered pair (from*n + to)
+
+	counters Counters
+}
+
+// New returns a network over machines 0..machines-1 of s.
+func New(s *sim.Sim, machines int, prof Profile) *Network {
+	if prof.Channels <= 0 {
+		prof.Channels = 1
+	}
+	nw := &Network{s: s, prof: prof, n: machines}
+	nw.links = make([]*sim.Station, machines*machines)
+	for i := range nw.links {
+		nw.links[i] = sim.NewStation(prof.Channels)
+	}
+	return nw
+}
+
+// Machines returns the number of machines the network joins.
+func (nw *Network) Machines() int { return nw.n }
+
+// Profile returns the link calibration.
+func (nw *Network) Profile() Profile { return nw.prof }
+
+// Counters returns cumulative traffic counters.
+func (nw *Network) Counters() Counters { return nw.counters }
+
+// TransmitTime returns the wire occupancy of a size-byte message (excluding
+// propagation latency and queueing) — exposed for calibration tests.
+func (nw *Network) TransmitTime(size int) env.Time {
+	if size <= 0 {
+		return 0
+	}
+	bps := nw.prof.BytesPerSec
+	return env.Time((int64(size)*int64(env.Second) + bps - 1) / bps)
+}
+
+// Send transmits a size-byte message from machine from to machine to and
+// schedules deliver on the destination's event domain when the last byte
+// arrives. If either endpoint is already halted the message is dropped; a
+// destination halted after Send but before arrival drops it at dispatch
+// (packets in flight to the dead). tc, when non-nil, books the whole
+// send-to-arrival interval (link queue + transmit + propagation) as CompNet.
+// Must be called from simulation context; deliver runs on the scheduler and
+// must not block.
+func (nw *Network) Send(from, to, size int, tc *trace.Ctx, deliver func()) {
+	if nw.s.Halted(from) || nw.s.Halted(to) {
+		nw.counters.Dropped++
+		return
+	}
+	now := nw.s.Now()
+	done := nw.links[from*nw.n+to].Assign(now, nw.TransmitTime(size))
+	arrive := done + nw.prof.Latency
+	nw.counters.Msgs++
+	nw.counters.Bytes += int64(size)
+	tc.Add(trace.CompNet, now, arrive)
+	nw.s.AtOn(to, arrive, deliver)
+}

@@ -1,0 +1,200 @@
+package net
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"kvell/internal/env"
+	"kvell/internal/sim"
+	"kvell/internal/trace"
+)
+
+// TransmitTime is ceil(size / bandwidth) in simulated time.
+func TestTransmitTimeCalibration(t *testing.T) {
+	s := sim.New(1)
+	defer s.Close()
+	nw := New(s, 2, TenGbE())
+	cases := []struct {
+		size int
+		want env.Time
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1},                             // ceil(0.8ns)
+		{1250, env.Microsecond},            // 1.25 GB/s exactly
+		{1_250_000, env.Millisecond},       // 1 MB
+		{1251, env.Microsecond + 1},        // rounds up, never down
+		{2500, 2 * env.Microsecond},        //
+		{12_500_000, 10 * env.Millisecond}, // 12.5 MB
+		{1_250_000_000, env.Second},        // full second of occupancy
+	}
+	for _, c := range cases {
+		if got := nw.TransmitTime(c.size); got != c.want {
+			t.Errorf("TransmitTime(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+// One message: arrival = transmit + one-way latency. Two back-to-back on the
+// same link: the second queues behind the first (FCFS); on distinct links
+// they do not interfere (switched fabric).
+func TestLinkLatencyAndQueueing(t *testing.T) {
+	s := sim.New(1)
+	defer s.Close()
+	nw := New(s, 3, TenGbE())
+	arrivals := map[string]env.Time{}
+	s.At(0, func() {
+		nw.Send(0, 1, 1250, nil, func() { arrivals["a"] = s.Now() })
+		nw.Send(0, 1, 1250, nil, func() { arrivals["b"] = s.Now() })
+		nw.Send(0, 2, 1250, nil, func() { arrivals["c"] = s.Now() })
+		nw.Send(1, 0, 1250, nil, func() { arrivals["d"] = s.Now() })
+	})
+	if err := s.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	lat := TenGbE().Latency
+	want := map[string]env.Time{
+		"a": env.Microsecond + lat,   // transmit 1µs, then propagate
+		"b": 2*env.Microsecond + lat, // queued behind a on the 0→1 link
+		"c": env.Microsecond + lat,   // own 0→2 link, no queueing
+		"d": env.Microsecond + lat,   // reverse direction is a separate link
+	}
+	for k, w := range want {
+		if arrivals[k] != w {
+			t.Errorf("arrival %q = %d, want %d", k, arrivals[k], w)
+		}
+	}
+	if c := nw.Counters(); c.Msgs != 4 || c.Bytes != 4*1250 || c.Dropped != 0 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+// Messages arriving at the same instant on different machines dispatch in
+// send order — the same-time FIFO lane is global, so cross-machine
+// simultaneity cannot reorder across runs.
+func TestSameInstantDeliveriesFIFOAcrossMachines(t *testing.T) {
+	s := sim.New(1)
+	defer s.Close()
+	nw := New(s, 5, TenGbE())
+	var order []int
+	s.At(0, func() {
+		for i := 1; i <= 4; i++ {
+			i := i
+			// Same size, distinct links: all four arrive at the same instant.
+			nw.Send(0, i, 100, nil, func() { order = append(order, i) })
+		}
+	})
+	if err := s.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("delivered %d messages, want 4", len(order))
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("delivery order = %v, want send order", order)
+		}
+	}
+}
+
+// Halted endpoints: sends to or from a dead machine are dropped at Send;
+// messages already in flight to a machine that dies before arrival are
+// dropped at dispatch (the deliver callback never runs).
+func TestHaltedEndpointsDropMessages(t *testing.T) {
+	s := sim.New(1)
+	defer s.Close()
+	nw := New(s, 3, TenGbE())
+	var delivered, inFlight int
+	s.At(0, func() {
+		// Arrives ~11µs; machine 2 dies at 5µs: dropped at dispatch.
+		nw.Send(0, 2, 1250, nil, func() { inFlight++ })
+	})
+	s.At(5*env.Microsecond, func() { s.Halt(2) })
+	s.At(10*env.Microsecond, func() {
+		nw.Send(0, 2, 100, nil, func() { delivered++ }) // to the dead
+		nw.Send(2, 0, 100, nil, func() { delivered++ }) // from the dead
+		nw.Send(0, 1, 100, nil, func() { delivered++ }) // survivors unaffected
+	})
+	if err := s.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if inFlight != 0 {
+		t.Error("in-flight message delivered to a halted machine")
+	}
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want 1 (only the survivor pair)", delivered)
+	}
+	c := nw.Counters()
+	if c.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2 (in-flight drops are not counted at Send)", c.Dropped)
+	}
+}
+
+// Send books the whole send-to-arrival interval as CompNet on the request's
+// trace context.
+func TestSendBooksCompNet(t *testing.T) {
+	s := sim.New(1)
+	defer s.Close()
+	nw := New(s, 2, TenGbE())
+	tr := trace.NewTracer(0)
+	s.At(0, func() {
+		tc := tr.Begin(0, s.Now())
+		nw.Send(0, 1, 1250, tc, func() { tr.Finish(tc, s.Now()) })
+	})
+	if err := s.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(env.Microsecond + TenGbE().Latency)
+	if got := tr.Breakdown().Sum(trace.CompNet); got != want {
+		t.Errorf("CompNet sum = %v, want %v", got, want)
+	}
+}
+
+// Golden digest for a two-machine echo workload: machine 0 sends a burst of
+// requests of varying sizes, machine 1 echoes each back at half size. Every
+// arrival instant folds into an FNV digest; the constant below pins the
+// network model's timing end to end (queueing, calibration, FIFO order).
+// If a deliberate model change moves it, re-pin from the test failure.
+func TestTwoMachineEchoGoldenDigest(t *testing.T) {
+	const want = "566e563acc4f9b7e"
+	s := sim.New(42)
+	defer s.Close()
+	nw := New(s, 2, TenGbE())
+	h := fnv.New64a()
+	word := func(v uint64) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	echoes := 0
+	s.At(0, func() {
+		for i := 0; i < 64; i++ {
+			i := i
+			size := (i*37)%1500 + 1
+			nw.Send(0, 1, size, nil, func() {
+				word(uint64(i))
+				word(uint64(s.Now()))
+				nw.Send(1, 0, size/2+1, nil, func() {
+					word(uint64(s.Now()))
+					echoes++
+				})
+			})
+		}
+	})
+	if err := s.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if echoes != 64 {
+		t.Fatalf("echoes = %d, want 64", echoes)
+	}
+	c := nw.Counters()
+	word(uint64(c.Msgs))
+	word(uint64(c.Bytes))
+	got := fmt.Sprintf("%016x", h.Sum64())
+	if got != want {
+		t.Errorf("echo digest = %s, want %s", got, want)
+	}
+}

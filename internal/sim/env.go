@@ -7,6 +7,10 @@ import "kvell/internal/env"
 type Env struct {
 	S    *Sim
 	CPUs *Pool
+	// Machine is the machine domain procs started through this Env belong
+	// to (see Sim.Halt). Zero for single-machine simulations; NewMachineEnv
+	// sets it for cluster nodes.
+	Machine int
 	// OnMutexWait, if set when a mutex is created, is called after each
 	// contended Lock on that mutex with the wait interval. Purely
 	// observational (tracing); wire it before the engine is built.
@@ -18,12 +22,19 @@ func NewEnv(s *Sim, cores int) *Env {
 	return &Env{S: s, CPUs: NewPool(s, cores)}
 }
 
+// NewMachineEnv returns an env.Env whose procs and CPU pool belong to the
+// given machine domain. Each simulated machine of a cluster gets its own
+// Env (own cores), all sharing one Sim (one clock, one event queue).
+func NewMachineEnv(s *Sim, machine, cores int) *Env {
+	return &Env{S: s, CPUs: NewPool(s, cores), Machine: machine}
+}
+
 // Now implements env.Env.
 func (e *Env) Now() env.Time { return e.S.Now() }
 
 // Go implements env.Env.
 func (e *Env) Go(name string, fn func(env.Ctx)) {
-	e.S.Go(name, func(p *Proc) { fn(&simCtx{e: e, p: p}) })
+	e.S.GoOn(e.Machine, name, func(p *Proc) { fn(&simCtx{e: e, p: p}) })
 }
 
 // NewMutex implements env.Env.

@@ -1,0 +1,117 @@
+package sim
+
+import "testing"
+
+// Halting a machine domain discards its queued events at dispatch while the
+// clock and the other machines keep running.
+func TestHaltDropsMachineEvents(t *testing.T) {
+	s := New(1)
+	var fired []string
+	s.AtOn(0, 100, func() { fired = append(fired, "m0@100") })
+	s.AtOn(1, 100, func() { fired = append(fired, "m1@100") })
+	s.AtOn(1, 300, func() { fired = append(fired, "m1@300") })
+	s.AtOn(0, 300, func() { fired = append(fired, "m0@300") })
+	s.At(200, func() { s.Halt(1) })
+	if err := s.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"m0@100", "m1@100", "m0@300"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i, w := range want {
+		if fired[i] != w {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+	if s.Now() != 300 {
+		t.Fatalf("clock = %d, want 300 (survivor events still advance it)", s.Now())
+	}
+	if !s.Halted(1) || s.Halted(0) {
+		t.Fatalf("Halted(1)=%v Halted(0)=%v", s.Halted(1), s.Halted(0))
+	}
+}
+
+// A proc on a halted machine is never resumed: it parks at its next sleep
+// and stays parked until Close unwinds it. Survivor procs are unaffected.
+func TestHaltParksMachineProcs(t *testing.T) {
+	s := New(1)
+	var deadWoke, liveWoke bool
+	s.GoOn(1, "victim", func(p *Proc) {
+		p.Sleep(500)
+		deadWoke = true
+	})
+	s.GoOn(0, "survivor", func(p *Proc) {
+		p.Sleep(500)
+		liveWoke = true
+	})
+	s.At(100, func() { s.Halt(1) })
+	if err := s.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if deadWoke {
+		t.Fatal("proc on halted machine resumed")
+	}
+	if !liveWoke {
+		t.Fatal("survivor proc never resumed")
+	}
+	if s.Live() != 1 {
+		t.Fatalf("live = %d, want 1 (the parked victim)", s.Live())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if deadWoke {
+		t.Fatal("Close ran the halted proc's continuation")
+	}
+}
+
+// GoOn after Halt: the new proc parks forever instead of running.
+func TestGoOnHaltedMachineParks(t *testing.T) {
+	s := New(1)
+	var ran bool
+	s.At(10, func() { s.Halt(2) })
+	s.At(20, func() {
+		s.GoOn(2, "late", func(p *Proc) { ran = true })
+	})
+	if err := s.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("proc spawned on a halted machine ran")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Default-machine simulations are untouched by halting a machine that owns
+// nothing: schedules identical with and without the Halt call.
+func TestHaltForeignMachineIsInert(t *testing.T) {
+	run := func(halt bool) []Time {
+		s := New(7)
+		var times []Time
+		s.Go("a", func(p *Proc) {
+			for i := 0; i < 4; i++ {
+				p.Sleep(25)
+				times = append(times, p.Now())
+			}
+		})
+		if halt {
+			s.At(30, func() { s.Halt(5) })
+		}
+		if err := s.Run(-1); err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("schedules differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules differ: %v vs %v", a, b)
+		}
+	}
+}

@@ -11,8 +11,19 @@
 //
 // The package also provides the synchronization and queueing primitives the
 // engines are built from: FCFS multi-server stations (CPU cores, device
-// channels), mutexes, spin-mutexes that burn simulated CPU while waiting,
-// condition variables and FIFO queues.
+// channels, network links), mutexes, spin-mutexes that burn simulated CPU
+// while waiting, condition variables and FIFO queues.
+//
+// # Machine domains
+//
+// One Sim can model several machines sharing the virtual clock: every proc
+// and scheduler function belongs to a machine domain (0 by default; GoOn and
+// AtOn choose one). Halt(m) kills machine m — its queued events are
+// discarded at dispatch and its procs never resume — while the rest of the
+// simulation keeps running, which is the cluster failure model
+// (internal/fault kills a machine, internal/cluster fails over). A
+// simulation that never calls GoOn/AtOn/Halt behaves exactly as before:
+// everything is machine 0 and the dispatch path only pays a nil check.
 //
 // # Hot-path design
 //
@@ -45,10 +56,11 @@ import (
 type Time = int64
 
 type event struct {
-	at   Time
-	seq  uint64 // tie-breaker: FIFO among simultaneous events
-	proc *Proc  // resume this proc ...
-	fn   func() // ... or run this function on the scheduler
+	at      Time
+	seq     uint64 // tie-breaker: FIFO among simultaneous events
+	machine int32  // machine domain for fn events (proc events use proc.machine)
+	proc    *Proc  // resume this proc ...
+	fn      func() // ... or run this function on the scheduler
 }
 
 // eventLess orders events by (at, seq); seq is unique, so the order is total.
@@ -88,6 +100,9 @@ type Sim struct {
 	yield   chan struct{} // procs hand control back to the scheduler here
 	closed  bool
 	stopped bool // Stop() was called: Run dispatches no further events
+	// halted marks dead machine domains (see Halt). nil until the first
+	// Halt, so single-machine simulations pay one nil check per dispatch.
+	halted  []bool
 	failed  error
 	rng     *rand.Rand
 	live    int     // procs started and not yet finished
@@ -127,6 +142,10 @@ func (s *Sim) getEvent(at Time, p *Proc, fn func()) *event {
 	}
 	s.seq++
 	e.at, e.seq, e.proc, e.fn = at, s.seq, p, fn
+	e.machine = 0
+	if p != nil {
+		e.machine = p.machine
+	}
 	return e
 }
 
@@ -142,6 +161,19 @@ func (s *Sim) schedule(at Time, p *Proc, fn func()) {
 		return
 	}
 	s.heapPush(s.getEvent(at, p, fn))
+}
+
+// scheduleOn is schedule for scheduler functions addressed to a machine
+// domain: the event is discarded at dispatch if the machine has been halted.
+func (s *Sim) scheduleOn(machine int, at Time, fn func()) {
+	e := s.getEvent(at, nil, fn)
+	e.machine = int32(machine)
+	if e.at <= s.now {
+		e.at = s.now
+		s.lanePush(e)
+		return
+	}
+	s.heapPush(e)
 }
 
 // lanePush appends to the same-instant FIFO ring, growing it as needed.
@@ -277,7 +309,45 @@ func (s *Sim) canFastResume(t Time) bool {
 
 // At schedules fn to run on the scheduler at time at (clamped to now). fn
 // must not block or park; it may wake procs and schedule further events.
+// The event belongs to machine 0 (see AtOn).
 func (s *Sim) At(at Time, fn func()) { s.schedule(at, nil, fn) }
+
+// AtOn is At for a specific machine domain: if the machine is halted by
+// dispatch time, fn is silently discarded (an I/O completion or timer on a
+// dead machine).
+func (s *Sim) AtOn(machine int, at Time, fn func()) { s.scheduleOn(machine, at, fn) }
+
+// Halt marks a machine domain dead. From that instant no event addressed to
+// the machine is dispatched: queued I/O completions and timers vanish, and
+// its procs are never resumed again (they stay parked until Close unwinds
+// them). Unlike Stop, the rest of the simulation keeps running — this is the
+// cluster failure model, where one machine dies and the survivors carry on.
+// Like Stop, a proc of the halted machine that is currently running keeps
+// control until it next parks; with its devices dead and its outbound
+// messages dropped it can make no further observable progress.
+func (s *Sim) Halt(machine int) {
+	for len(s.halted) <= machine {
+		s.halted = append(s.halted, false)
+	}
+	s.halted[machine] = true
+}
+
+// Halted reports whether machine's domain has been halted.
+func (s *Sim) Halted(machine int) bool {
+	return machine < len(s.halted) && s.halted[machine]
+}
+
+// machineDead reports whether e is addressed to a halted machine.
+func (s *Sim) machineDead(e *event) bool {
+	if s.halted == nil {
+		return false
+	}
+	m := e.machine
+	if e.proc != nil {
+		m = e.proc.machine
+	}
+	return int(m) < len(s.halted) && s.halted[m]
+}
 
 // Stop freezes the simulation at the current instant: the Run in progress
 // dispatches no further events (pending events stay queued, parked procs stay
@@ -293,9 +363,15 @@ func (s *Sim) Stop() { s.stopped = true }
 func (s *Sim) Stopped() bool { return s.stopped }
 
 // Go starts a new proc running fn, beginning at the current virtual time.
-func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
+// The proc belongs to machine 0 (see GoOn).
+func (s *Sim) Go(name string, fn func(p *Proc)) *Proc { return s.GoOn(0, name, fn) }
+
+// GoOn starts a new proc on the given machine domain. If the machine is
+// halted the proc parks forever at its next sleep or wait and is unwound by
+// Close like any other parked proc.
+func (s *Sim) GoOn(machine int, name string, fn func(p *Proc)) *Proc {
 	s.procSeq++
-	p := &Proc{sim: s, name: name, id: s.procSeq, resume: make(chan struct{})}
+	p := &Proc{sim: s, name: name, id: s.procSeq, machine: int32(machine), resume: make(chan struct{})}
 	s.live++
 	s.trackProc(p)
 	go func() {
@@ -368,6 +444,14 @@ func (s *Sim) Run(until Time) error {
 		}
 		e := s.pop()
 		s.now = e.at
+		if s.machineDead(e) {
+			// Events addressed to a halted machine are discarded: its disks'
+			// completions never fire and its procs never resume. The clock
+			// still advances to e.at — dropping an event cannot move time
+			// backwards for the survivors.
+			s.putEvent(e)
+			continue
+		}
 		fn, p := e.fn, e.proc
 		s.putEvent(e)
 		switch {
@@ -418,17 +502,21 @@ func (s *Sim) Close() error {
 
 // Proc is a simulated thread.
 type Proc struct {
-	sim    *Sim
-	name   string
-	id     uint64 // creation order, for deterministic teardown
-	resume chan struct{}
-	parked bool
-	done   bool
-	trace  any // observability context (a *trace.Ctx), never read by the kernel
+	sim     *Sim
+	name    string
+	id      uint64 // creation order, for deterministic teardown
+	machine int32  // machine domain (0 unless started with GoOn)
+	resume  chan struct{}
+	parked  bool
+	done    bool
+	trace   any // observability context (a *trace.Ctx), never read by the kernel
 }
 
 // Name returns the proc's diagnostic name.
 func (p *Proc) Name() string { return p.name }
+
+// Machine returns the machine domain the proc belongs to.
+func (p *Proc) Machine() int { return int(p.machine) }
 
 // Sim returns the simulation this proc belongs to.
 func (p *Proc) Sim() *Sim { return p.sim }
@@ -470,6 +558,14 @@ func (p *Proc) sleepUntil(t Time) {
 	s := p.sim
 	if t < s.now {
 		t = s.now // match schedule's clamp
+	}
+	if s.halted != nil && s.Halted(int(p.machine)) {
+		// The proc's machine died while it was running (it is unwinding
+		// after the halt): it must park, and its wake-up event will be
+		// discarded at dispatch, so it sleeps until Close tears it down.
+		s.schedule(t, p, nil)
+		p.park()
+		return
 	}
 	if s.canFastResume(t) {
 		s.now = t

@@ -42,13 +42,15 @@ const (
 	CompDevService        // device service time
 	CompAbsorb            // held in the write-absorption buffer awaiting group commit
 	CompHotCache          // hot-key record-cache probe and value copy on a tiered hit
+	CompNet               // on the wire: network link queue, transmit and propagation
+	CompReplicate         // locally durable, awaiting follower replication acks
 	CompOther             // remainder of end-to-end latency not booked above
 	NumComponents
 )
 
 // CompNames names the components, indexed by the constants above.
 var CompNames = [NumComponents]string{
-	"queue", "cpu", "cpu-queue", "lock", "stall", "dev-queue", "dev-service", "absorb", "hotcache", "other",
+	"queue", "cpu", "cpu-queue", "lock", "stall", "dev-queue", "dev-service", "absorb", "hotcache", "net", "replicate", "other",
 }
 
 // Event counters folded into the breakdown (see stats.Breakdown.AddCounters):
