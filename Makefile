@@ -5,7 +5,8 @@ GO ?= go
 # absorb merge and open-loop arrival draws).
 BENCH_PKGS = ./internal/sim ./internal/slab ./internal/pagecache \
 	./internal/ycsb ./internal/btree ./internal/stats \
-	./internal/core ./internal/harness ./internal/hotcache
+	./internal/core ./internal/harness ./internal/hotcache \
+	./internal/mvcc ./internal/txn
 
 .PHONY: all build vet fmt-check lint test race check bench alloc-budget crash-sweep trace absorb tier cluster
 

@@ -1,0 +1,78 @@
+// Command kvell-txn runs the transactional workloads: the txnbank
+// conflict-rate × transaction-size sweep, the transactional crash sweep
+// (kill the store mid-commit at seeded points, recover, verify that the
+// total balance is conserved and no acknowledged transaction is visible
+// half-applied), and the cross-shard cluster run with a mid-workload
+// machine kill.
+//
+// Usage:
+//
+//	kvell-txn                       # conflict sweep + cluster failover run
+//	kvell-txn -crash -k 125         # 125-point transactional crash sweep
+//	kvell-txn -crash -seed 9 -point 17   # reproduce one crash failure
+//	kvell-txn -bank -theta 0.9 -size 4   # one bank run at a chosen point
+//
+// Everything is deterministic: every schedule, crash point and digest
+// derives from -seed alone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kvell/internal/harness"
+)
+
+func main() {
+	var (
+		crash   = flag.Bool("crash", false, "run the transactional crash sweep instead of the experiment")
+		bank    = flag.Bool("bank", false, "run a single bank point instead of the experiment")
+		points  = flag.Int("k", 25, "seeded crash points (with -crash)")
+		seed    = flag.Int64("seed", 1, "master seed")
+		point   = flag.Int("point", 0, "run only this 1-based crash point (failure repro)")
+		theta   = flag.Float64("theta", 0.5, "hot-set draw probability (with -bank)")
+		size    = flag.Int("size", 2, "accounts per transfer (with -bank)")
+		moves   = flag.Int("transfers", 50, "transfers per mover (with -bank)")
+		quick   = flag.Bool("quick", false, "shrink the experiment sweep")
+		verbose = flag.Bool("v", false, "print one line per surviving crash point")
+	)
+	flag.Parse()
+	start := time.Now()
+
+	switch {
+	case *crash:
+		fails := harness.TxnCrashSweep(harness.SweepOpts{
+			Points:  *points,
+			Seed:    *seed,
+			Point:   *point,
+			Verbose: *verbose,
+		}, os.Stdout)
+		ran := *points
+		if *point > 0 {
+			ran = 1
+		}
+		if fails > 0 {
+			fmt.Printf("\ntxn crash sweep FAILED: %d failing point(s) (seed %d)\n", fails, *seed)
+			os.Exit(1)
+		}
+		fmt.Printf("txn crash sweep passed: %d point(s), seed %d, %.1fs\n", ran, *seed, time.Since(start).Seconds())
+	case *bank:
+		res, err := harness.RunTxnBank(harness.TxnBankSpec{
+			Seed:      *seed,
+			Theta:     *theta,
+			TxnSize:   *size,
+			Transfers: *moves,
+		})
+		if err != nil {
+			fmt.Printf("txnbank FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("txnbank ok: committed=%d conflicts=%d aborts=%d audits=%d gc-freed=%d digest=%016x\n",
+			res.Committed, res.Conflicts, res.Aborts, res.Audits, res.GCFreed, res.Digest)
+	default:
+		ex, _ := harness.Find("txn")
+		ex.Run(harness.Options{Quick: *quick, Seed: *seed}, os.Stdout)
+	}
+}

@@ -93,6 +93,14 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"goroutine.go", "internal/net"},
 		{"walltime.go", "internal/cluster"},
 		{"goroutine.go", "internal/cluster"},
+		// The transaction layer's determinism story depends on every retry
+		// backoff being seeded and every timestamp coming from the virtual
+		// clock: both analyzers must fire in internal/mvcc and internal/txn
+		// with no allowlist entry.
+		{"walltime.go", "internal/mvcc"},
+		{"randfix.go", "internal/mvcc"},
+		{"walltime.go", "internal/txn"},
+		{"randfix.go", "internal/txn"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture+"@"+tc.rel, func(t *testing.T) {

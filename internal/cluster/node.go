@@ -68,6 +68,12 @@ type ReqMsg struct {
 	Op    kv.OpType
 	Key   []byte
 	Value []byte
+	// TS, TS2, Aux and Del mirror kv.Request's transaction fields (snapshot /
+	// start timestamp, commit / skip timestamp, primary key, delete intent).
+	TS    uint64
+	TS2   uint64
+	Aux   []byte
+	Del   bool
 	Trace *trace.Ctx
 	// Done receives the reply on the client machine (scheduler context:
 	// short, non-blocking, may take locks with a nil ctx like any
@@ -105,7 +111,7 @@ func (cl *Cluster) Send(c env.Ctx, client int, m *ReqMsg) {
 	m.Node = n
 	m.Epoch = cl.Place.Epoch()
 	m.client = client
-	size := ReqOverhead + len(m.Key) + len(m.Value)
+	size := ReqOverhead + len(m.Key) + len(m.Value) + len(m.Aux)
 	cl.Net.Send(client, n.host, size, m.Trace, func() { n.enqueue(m) })
 }
 
@@ -115,9 +121,9 @@ func (cl *Cluster) Send(c env.Ctx, client int, m *ReqMsg) {
 // barrier; everything else replies immediately.
 func (m *ReqMsg) serverDone(res kv.Result) {
 	m.respValue = append(m.respValue[:0], res.Value...)
-	m.res = kv.Result{Found: res.Found, ScanN: res.ScanN}
+	m.res = kv.Result{Found: res.Found, ScanN: res.ScanN, Txn: res.Txn, TxnTS: res.TxnTS}
 	n := m.Node
-	if n.repl != nil && m.Op != kv.OpGet {
+	if n.repl != nil && !m.Op.ReadOnly() {
 		n.repl.Barrier(m, n)
 		return
 	}
@@ -182,6 +188,7 @@ func (n *Node) serve(c env.Ctx) {
 			n.Reqs++
 			r := &m.req
 			r.Op, r.Key, r.Value = m.Op, m.Key, m.Value
+			r.TS, r.TS2, r.Aux, r.Del = m.TS, m.TS2, m.Aux, m.Del
 			r.ScanCount = 0
 			r.Start = c.Now()
 			r.Trace = m.Trace

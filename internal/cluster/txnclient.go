@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"kvell/internal/env"
+	"kvell/internal/kv"
+	"kvell/internal/sim"
+)
+
+// tsMsgSize is the wire size of a timestamp fetch or grant (header + one
+// 64-bit timestamp).
+const tsMsgSize = 24
+
+// OracleHome is the store identity whose machine runs the cluster's
+// timestamp oracle. It is fixed at machine 0: the oracle is tiny,
+// single-writer state, and pinning it sidesteps oracle failover (the
+// experiments never kill machine 0 — see DESIGN.md §14).
+const OracleHome = 0
+
+// FetchTS asks the oracle machine for a timestamp over the network. With
+// consume set it issues a fresh, strictly increasing timestamp; otherwise it
+// returns the current floor (a consume-free snapshot timestamp). done runs
+// back on the client machine in scheduler context.
+func (cl *Cluster) FetchTS(c env.Ctx, client int, consume bool, done func(ts uint64)) {
+	n := cl.nodes[OracleHome]
+	cl.Net.Send(client, n.host, tsMsgSize, nil, func() {
+		var ts uint64
+		if consume {
+			ts = n.st.Oracle().Next(cl.S.Now())
+		} else {
+			ts = n.st.Oracle().Last()
+		}
+		cl.Net.Send(n.host, client, tsMsgSize, nil, func() { done(ts) })
+	})
+}
+
+// TxnClient adapts the cluster's message transport to the blocking client
+// interface internal/txn expects: every call sends one request (or timestamp
+// fetch) and parks the calling proc until the reply lands. One TxnClient
+// serves one proc.
+//
+// Calls are sequence-guarded for failover: each send installs a completion
+// closure stamped with a fresh sequence number, so a straggler reply from a
+// machine that died mid-call (swept by SweepIf) cannot be mistaken for the
+// reply to a later call reusing the same message.
+type TxnClient struct {
+	Cl      *Cluster
+	Machine int // client machine this proc runs on
+
+	mu   env.Mutex
+	cond env.Cond
+	msg  *ReqMsg
+	seq  uint64
+	busy bool // a store call is in flight (timestamp fetches never set it)
+	done bool
+	res  kv.Result
+	ts   uint64
+
+	// Swept counts in-flight calls failed by the failover sweep.
+	Swept int64
+}
+
+// NewTxnClient returns a transaction client sending from machine on e.
+func NewTxnClient(cl *Cluster, e *sim.Env, machine int) *TxnClient {
+	tc := &TxnClient{Cl: cl, Machine: machine}
+	tc.mu = e.NewMutex()
+	tc.cond = e.NewCond(tc.mu)
+	tc.msg = NewReqMsg(cl)
+	return tc
+}
+
+// finish delivers a result for call my; stale sequence numbers (a straggler
+// reply racing a sweep) are dropped. c is nil from completion callbacks.
+func (tc *TxnClient) finish(c env.Ctx, my uint64, res kv.Result) {
+	tc.mu.Lock(c)
+	if tc.seq != my || tc.done {
+		tc.mu.Unlock(c)
+		return
+	}
+	tc.res = res
+	tc.done = true
+	tc.busy = false
+	tc.mu.Unlock(c)
+	tc.cond.Signal(c)
+}
+
+// call sends the prepared message and blocks until its reply (or a sweep).
+func (tc *TxnClient) call(c env.Ctx) kv.Result {
+	tc.seq++
+	my := tc.seq
+	tc.done = false
+	tc.busy = true
+	tc.msg.Done = func(res kv.Result) { tc.finish(nil, my, res) }
+	tc.Cl.Send(c, tc.Machine, tc.msg)
+	tc.mu.Lock(c)
+	for !tc.done {
+		tc.cond.Wait(c)
+	}
+	res := tc.res
+	tc.mu.Unlock(c)
+	return res
+}
+
+// SweepIf fails the in-flight call, if any, that was sent to dead — a machine
+// whose reply will never arrive. The call completes with a TxnRetry verdict:
+// every transactional path treats TxnRetry as "back off and re-send", and the
+// re-send routes under the post-failover epoch, so a swept commit can never
+// damage a transaction that in fact committed before the crash. Returns
+// whether a call was swept. Call after FailMachine + promotion re-routing.
+func (tc *TxnClient) SweepIf(c env.Ctx, dead int) bool {
+	tc.mu.Lock(c)
+	swept := tc.busy && !tc.done && tc.msg.Node != nil && tc.msg.Node.Host() == dead
+	my := tc.seq
+	tc.mu.Unlock(c)
+	if !swept {
+		return false
+	}
+	tc.Swept++
+	tc.finish(c, my, kv.Result{Txn: kv.TxnRetry})
+	return true
+}
+
+func (tc *TxnClient) op(c env.Ctx, op kv.OpType, key, value, aux []byte, ts, ts2 uint64, del bool) kv.Result {
+	m := tc.msg
+	m.Op, m.Key, m.Value, m.Aux = op, key, value, aux
+	m.TS, m.TS2, m.Del = ts, ts2, del
+	return tc.call(c)
+}
+
+// NextTS fetches a fresh timestamp from the oracle machine.
+func (tc *TxnClient) NextTS(c env.Ctx) uint64 { return tc.fetchTS(c, true) }
+
+// SnapshotTS fetches a consume-free snapshot timestamp from the oracle
+// machine.
+func (tc *TxnClient) SnapshotTS(c env.Ctx) uint64 { return tc.fetchTS(c, false) }
+
+func (tc *TxnClient) fetchTS(c env.Ctx, consume bool) uint64 {
+	tc.seq++ // invalidate any straggler reply from a swept store call
+	my := tc.seq
+	tc.done = false
+	tc.Cl.FetchTS(c, tc.Machine, consume, func(ts uint64) {
+		tc.mu.Lock(nil)
+		if tc.seq == my && !tc.done {
+			tc.ts = ts
+			tc.done = true
+		}
+		tc.mu.Unlock(nil)
+		tc.cond.Signal(nil)
+	})
+	tc.mu.Lock(c)
+	for !tc.done {
+		tc.cond.Wait(c)
+	}
+	ts := tc.ts
+	tc.mu.Unlock(c)
+	return ts
+}
+
+// TxnGet performs a snapshot read at ts (skip names a pending transaction
+// whose lock the read may pass).
+func (tc *TxnClient) TxnGet(c env.Ctx, key []byte, ts, skip uint64) kv.Result {
+	return tc.op(c, kv.OpTxnGet, key, nil, nil, ts, skip, false)
+}
+
+// Prewrite installs a locked intent on key for the transaction at startTS.
+func (tc *TxnClient) Prewrite(c env.Ctx, key, value, primary []byte, startTS uint64, del bool) kv.Result {
+	return tc.op(c, kv.OpTxnPrewrite, key, value, primary, startTS, 0, del)
+}
+
+// Commit flips key's intent at startTS to a committed version at commitTS.
+func (tc *TxnClient) Commit(c env.Ctx, key []byte, startTS, commitTS uint64) kv.Result {
+	return tc.op(c, kv.OpTxnCommit, key, nil, nil, startTS, commitTS, false)
+}
+
+// Resolve queries the transaction whose primary lock is on primary.
+func (tc *TxnClient) Resolve(c env.Ctx, primary []byte, startTS, readTS uint64) kv.Result {
+	return tc.op(c, kv.OpTxnResolve, primary, nil, nil, startTS, readTS, false)
+}
+
+// Rollback removes key's intent at startTS.
+func (tc *TxnClient) Rollback(c env.Ctx, key []byte, startTS uint64) kv.Result {
+	return tc.op(c, kv.OpTxnRollback, key, nil, nil, startTS, 0, false)
+}

@@ -165,7 +165,7 @@ func (w *worker) absorbStart(c env.Ctx, r *kv.Request, out *[]*aio.IO) bool {
 			if w.absorb(c, r, out) {
 				return
 			}
-			w.doUpdate(c, r.Key, r.Value, func(c env.Ctx, out *[]*aio.IO) {
+			w.writeBack(c, r.Key, r.Value, func(c env.Ctx, out *[]*aio.IO) {
 				w.respond(c, r, kv.Result{Found: true})
 			}, out)
 		}, &r.ValueBuf, out)
@@ -259,12 +259,12 @@ func (w *worker) flushAbsorb(c env.Ctx, out *[]*aio.IO) {
 		}
 		if last.Op == kv.OpDelete {
 			e.found = true
-			if !w.deleteKey(c, last.Key, e.ackFn, out) {
+			if !w.deleteBack(c, last.Key, e.ackFn, out) {
 				e.found = false
 				e.ackFn(c, out)
 			}
 		} else {
-			w.doUpdate(c, last.Key, last.Value, e.ackFn, out)
+			w.writeBack(c, last.Key, last.Value, e.ackFn, out)
 		}
 	}
 	c.SetTrace(nil)

@@ -104,6 +104,22 @@ type Config struct {
 	// TieredSeed seeds the cache's ghost-table hash mix (per-worker salted).
 	TieredSeed int64
 
+	// MVCC enables the versioned record format and the transaction
+	// operations (OpTxn*): every slot value is wrapped in an mvcc.Envelope,
+	// updates never overwrite a committed version in place, and each worker
+	// keeps an in-memory version/lock table for its multi-version keys.
+	// Single-version reads stay on the zero-allocation path (the table
+	// probe misses and the read proceeds exactly as before, minus the
+	// envelope header strip). Plain OpUpdate/OpDelete remain available as
+	// non-transactional autocommits; snapshot guarantees cover keys written
+	// through the transaction operations. Incompatible with
+	// SharedEverything (per-worker state), TieredHotBytes (the hot cache
+	// would serve raw envelopes) and WithCommitLog (the ablation predates
+	// the envelope format). Write absorption composes: absorbed plain
+	// writes are wrapped when the group commit flushes them, and
+	// transaction operations bypass the buffer.
+	MVCC bool
+
 	// OnIndexUpdate, when set, is called synchronously whenever a worker
 	// (re)locates or deletes a key in its in-memory index during normal
 	// operation — not during bulk load or recovery, whose state the caller
@@ -174,6 +190,17 @@ func (c *Config) validate() error {
 		}
 		if c.AbsorbMaxHeld <= 0 {
 			c.AbsorbMaxHeld = 4 * c.BatchSize
+		}
+	}
+	if c.MVCC {
+		if c.SharedEverything {
+			return fmt.Errorf("core: MVCC requires shared-nothing workers")
+		}
+		if c.TieredHotBytes > 0 {
+			return fmt.Errorf("core: MVCC is incompatible with hot/cold tiering")
+		}
+		if c.WithCommitLog {
+			return fmt.Errorf("core: MVCC is incompatible with the commit-log ablation")
 		}
 	}
 	if c.TieredHotBytes > 0 {

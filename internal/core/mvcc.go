@@ -1,0 +1,1266 @@
+package core
+
+// MVCC mode (Config.MVCC): every slot value is wrapped in an mvcc.Envelope
+// carrying the writing transaction's start and commit timestamps, a chain
+// pointer to the previous version's slot, and — for prewrite intents — the
+// primary lock key. Committed versions are ordinary live slots; superseded
+// versions stay live (chained through PrevLoc) until garbage collection
+// tombstones them through the normal free-list path, so crash recovery and
+// replication treat them exactly like any other data.
+//
+// Each worker keeps an in-memory mvcc.Table covering only the keys in the
+// uncheckpointed window: keys with a pending intent or more than one retained
+// version. Every other key — the steady-state overwhelming majority — has no
+// table entry, and its reads take the pre-MVCC zero-allocation path plus an
+// envelope-header strip.
+//
+// The commit of an intent is an in-place byte patch (kind byte + commit
+// timestamp inside the envelope): one atomic page write, no slot movement, no
+// index update. The flip page rides the ordinary write path, so group commit,
+// absorption batching, cluster replication and crash settlement all apply to
+// transactional writes unchanged.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"kvell/internal/aio"
+	"kvell/internal/costs"
+	"kvell/internal/device"
+	"kvell/internal/env"
+	"kvell/internal/freelist"
+	"kvell/internal/kv"
+	"kvell/internal/mvcc"
+	"kvell/internal/slab"
+)
+
+// maxChainWalk bounds on-disk PrevLoc chain walks (defense against a cycle
+// introduced by slot reuse; retained chains are far shorter).
+const maxChainWalk = 32
+
+// ---------------------------------------------------------------------------
+// Envelope encode/decode plumbing
+
+// envScratch returns a pooled envelope-encode buffer. Buffers are released at
+// the point slab.EncodeItem consumes them (synchronously on cache hits and
+// fresh appends, inside the page-read continuation on misses), so concurrent
+// writes each hold a distinct buffer and the steady state allocates nothing.
+func (w *worker) envScratch() []byte {
+	if n := len(w.envFree); n > 0 {
+		b := w.envFree[n-1]
+		w.envFree = w.envFree[:n-1]
+		return b
+	}
+	return make([]byte, 0, 256)
+}
+
+func (w *worker) releaseEnv(b []byte) {
+	w.envFree = append(w.envFree, b[:0])
+}
+
+// decodeEnv decodes the slot at data[off:] as a live envelope record. ok is
+// false when the slot is not live, holds a different key than expect (freed
+// and reused since the caller's lookup), or does not decode as an envelope.
+// The returned views alias data.
+func (w *worker) decodeEnv(c env.Ctx, sl *slab.Slab, off int, expect, data []byte) (mvcc.Envelope, bool) {
+	view := data
+	if !sl.MultiPage() {
+		view = data[off : off+sl.Stride]
+	}
+	d, err := sl.DecodeSlotView(view)
+	if err != nil || d.Kind != slab.Live || (expect != nil && !bytes.Equal(d.Item.Key, expect)) {
+		return mvcc.Envelope{}, false
+	}
+	c.CPU(costs.MemBytes(len(d.Item.Value)))
+	return mvcc.Decode(d.Item.Value)
+}
+
+// readEnv reads the slot at l and delivers its decoded envelope to fn. The
+// envelope's views are valid only for the duration of fn.
+func (w *worker) readEnv(c env.Ctx, expect []byte, l location, fn func(c env.Ctx, e mvcc.Envelope, ok bool, out *[]*aio.IO), out *[]*aio.IO) {
+	sl := w.slabs[l.class()]
+	slot := l.slot()
+	if sl.MultiPage() {
+		buf := make([]byte, sl.PagesPerSlot()*device.PageSize)
+		io := w.getIO(c)
+		io.Op = device.Read
+		io.Page = sl.SlotPage(slot)
+		io.Buf = buf
+		io.Tag = ioCont(func(c env.Ctx, io *aio.IO, out *[]*aio.IO) {
+			e, ok := w.decodeEnv(c, sl, 0, expect, io.Buf)
+			fn(c, e, ok, out)
+		})
+		*out = append(*out, io)
+		return
+	}
+	page, off := sl.SlotPage(slot), sl.SlotOffset(slot)
+	c.CPU(w.cache.LookupCost())
+	if data := w.cache.Get(page); data != nil {
+		e, ok := w.decodeEnv(c, sl, off, expect, data)
+		fn(c, e, ok, out)
+		return
+	}
+	w.readPage(c, page, func(c env.Ctx, data []byte, out *[]*aio.IO) {
+		e, ok := w.decodeEnv(c, sl, off, expect, data)
+		fn(c, e, ok, out)
+	}, out)
+}
+
+// respondEnvValue copies e.Value into r's scratch buffer and answers r.
+func (w *worker) respondEnvValue(c env.Ctx, r *kv.Request, e *mvcc.Envelope, status uint8) {
+	n := len(e.Value)
+	c.CPU(costs.MemBytes(n))
+	var val []byte
+	if r.ValueBuf != nil && cap(r.ValueBuf) >= n {
+		val = r.ValueBuf[:n]
+	} else {
+		val = make([]byte, n)
+		r.ValueBuf = val
+	}
+	copy(val, e.Value)
+	w.respond(c, r, kv.Result{Found: true, Value: val, Txn: status})
+}
+
+// ---------------------------------------------------------------------------
+// Envelope write path
+
+// writeEnvelope stores e as key's value in a fresh (or free-list) slot and
+// returns its location; done runs once the slot is durable. Unlike doUpdate
+// it never overwrites in place and never tombstones a previous location —
+// superseded versions stay live for snapshot readers until GC. The caller
+// owns the index update.
+func (w *worker) writeEnvelope(c env.Ctx, key []byte, e *mvcc.Envelope, done func(env.Ctx, *[]*aio.IO), out *[]*aio.IO) location {
+	b := w.envScratch()
+	b = mvcc.AppendEncode(b, e)
+	cls := slab.ClassFor(w.st.cfg.Classes, len(key), len(b))
+	if cls < 0 {
+		panic("core: mvcc envelope exceeds largest configured size class")
+	}
+	sl := w.slabs[cls]
+	slot, reused := sl.Alloc()
+	sl.Live++
+	ts := w.nextTS()
+	c.CPU(costs.MemBytes(len(key) + len(b)))
+
+	if sl.MultiPage() {
+		big := make([]byte, sl.PagesPerSlot()*device.PageSize)
+		if err := sl.EncodeItem(big, ts, key, b); err != nil {
+			panic(err)
+		}
+		w.releaseEnv(b)
+		writeSlot := func(c env.Ctx, out *[]*aio.IO) {
+			w.writePage(c, sl.SlotPage(slot), big, done, out)
+		}
+		if reused {
+			w.readPage(c, sl.SlotPage(slot), func(c env.Ctx, data []byte, out *[]*aio.IO) {
+				w.recoverChain(sl, data[:slab.HeaderSize+8])
+				w.cacheRemove(sl.SlotPage(slot)) // page belongs to a multi-page slot
+				writeSlot(c, out)
+			}, out)
+			return loc(cls, slot)
+		}
+		writeSlot(c, out)
+		return loc(cls, slot)
+	}
+
+	page, off := sl.SlotPage(slot), sl.SlotOffset(slot)
+	apply := func(c env.Ctx, data []byte) {
+		if reused {
+			w.recoverChain(sl, data[off:off+sl.Stride])
+		}
+		if err := sl.EncodeItem(data[off:off+sl.Stride], ts, key, b); err != nil {
+			panic(err)
+		}
+		w.releaseEnv(b) // consumed by the page image
+	}
+	if !reused && sl.AppendPageFresh(slot) {
+		data := w.zeroPageBuf()
+		apply(c, data)
+		w.cacheInsert(c, page, data)
+		if prev, ok := w.tailPage[cls]; ok {
+			w.cache.Unpin(prev)
+		}
+		w.cache.Pin(page)
+		w.tailPage[cls] = page
+		w.writePage(c, page, data, done, out)
+		return loc(cls, slot)
+	}
+	w.applyToPage(c, page, apply, done, out)
+	return loc(cls, slot)
+}
+
+// freeSlot tombstones the slot at l (free-list push included) and calls done
+// (which may be nil) once the tombstone is durable.
+func (w *worker) freeSlot(c env.Ctx, l location, done func(env.Ctx, *[]*aio.IO), out *[]*aio.IO) {
+	sl := w.slabs[l.class()]
+	slot := l.slot()
+	chainTo, chained := sl.Free.Push(slot)
+	if !chained {
+		chainTo = freelist.NoSlot
+	}
+	sl.Live--
+	ts := w.nextTS()
+	if sl.MultiPage() {
+		data := w.zeroPageBuf()
+		sl.EncodeTombstone(data, ts, chainTo)
+		w.cacheRemove(sl.SlotPage(slot))
+		w.writePage(c, sl.SlotPage(slot), data, done, out)
+		w.retireBuf(data)
+		return
+	}
+	page, off := sl.SlotPage(slot), sl.SlotOffset(slot)
+	w.applyToPage(c, page, func(c env.Ctx, data []byte) {
+		sl.EncodeTombstone(data[off:off+sl.Stride], ts, chainTo)
+	}, done, out)
+}
+
+// patchEnvelope flips the envelope at the head of a slot's value region
+// (which starts right after the slab header and key) from intent to
+// committed: only the kind byte and commit-timestamp field change, so the
+// slab header — including the per-page timestamps a multi-page tear check
+// validates — is untouched.
+func patchEnvelope(slotBuf []byte, klen int, kind byte, cts uint64) {
+	p := slab.HeaderSize + klen
+	slotBuf[p] = kind
+	binary.LittleEndian.PutUint64(slotBuf[p+9:p+17], cts)
+}
+
+// flipIntent commits the intent at lk.IntentLoc in place with one atomic
+// page write; done runs once the flip is durable — the transaction's commit
+// point when key is the primary.
+func (w *worker) flipIntent(c env.Ctx, key []byte, lk *mvcc.Lock, cts uint64, done func(env.Ctx, *[]*aio.IO), out *[]*aio.IO) {
+	l := location(lk.IntentLoc)
+	sl := w.slabs[l.class()]
+	slot := l.slot()
+	kind := byte(mvcc.KindCommitPut)
+	if lk.Del {
+		kind = mvcc.KindCommitDelete
+	}
+	if !sl.MultiPage() {
+		page, off := sl.SlotPage(slot), sl.SlotOffset(slot)
+		w.applyToPage(c, page, func(c env.Ctx, data []byte) {
+			patchEnvelope(data[off:off+sl.Stride], len(key), kind, cts)
+		}, done, out)
+		return
+	}
+	// Multi-page slot: the envelope header sits in page 0's payload right
+	// after the key, so the flip is still one single-page atomic write.
+	if slab.HeaderSize+len(key)+mvcc.HeaderSize > device.PageSize {
+		panic("core: mvcc flip: key too large to patch within the slot's first page")
+	}
+	pg := sl.SlotPage(slot)
+	io := w.getIO(c)
+	io.Op = device.Read
+	io.Page = pg
+	io.Buf = w.pageBuf()
+	io.Tag = ioCont(func(c env.Ctx, io *aio.IO, out *[]*aio.IO) {
+		buf := io.Buf
+		patchEnvelope(buf, len(key), kind, cts)
+		w.writePage(c, pg, buf, func(c env.Ctx, out *[]*aio.IO) {
+			w.retireBuf(buf)
+			done(c, out)
+		}, out)
+	})
+	*out = append(*out, io)
+}
+
+// ---------------------------------------------------------------------------
+// Plain operations under MVCC (non-transactional autocommits)
+
+// writeBack funnels a plain durable write: the MVCC autocommit path when
+// versioning is on, the ordinary slab update otherwise. The absorb flush
+// uses it so group-committed writes are envelope-wrapped too.
+func (w *worker) writeBack(c env.Ctx, key, value []byte, done func(env.Ctx, *[]*aio.IO), out *[]*aio.IO) {
+	if w.mv != nil {
+		w.mvccUpdate(c, key, value, done, out)
+		return
+	}
+	w.doUpdate(c, key, value, done, out)
+}
+
+// deleteBack is writeBack's counterpart for deletes.
+func (w *worker) deleteBack(c env.Ctx, key []byte, done func(env.Ctx, *[]*aio.IO), out *[]*aio.IO) bool {
+	if w.mv != nil {
+		return w.mvccDeleteKey(c, key, done, out)
+	}
+	return w.deleteKey(c, key, done, out)
+}
+
+// mvccUpdate is the plain-update path in MVCC mode: an autocommit at a fresh
+// oracle timestamp. Single-version keys (no table entry) take the ordinary
+// doUpdate machinery — in-place overwrite, class migration, old-slot
+// tombstone — because no snapshot can name their old version through a
+// retained chain; multi-version keys get a chained new slot instead, and the
+// superseded version stays live for snapshot readers until GC. A pending
+// intent is left untouched: the autocommit chains beneath it as the newest
+// committed version (the transaction, if it commits, wins with its larger
+// commit timestamp — plain writes make no first-committer-wins promise).
+func (w *worker) mvccUpdate(c env.Ctx, key, value []byte, done func(env.Ctx, *[]*aio.IO), out *[]*aio.IO) {
+	cts := w.st.oracle.Next(c.Now())
+	ks := w.mv.Get(key)
+	if ks == nil {
+		e := mvcc.Envelope{Kind: mvcc.KindCommitPut, StartTS: cts, CommitTS: cts, PrevLoc: mvcc.NoLoc, Value: value}
+		b := w.envScratch()
+		b = mvcc.AppendEncode(b, &e)
+		w.doUpdate(c, key, b, func(c env.Ctx, out *[]*aio.IO) {
+			w.releaseEnv(b)
+			done(c, out)
+		}, out)
+		return
+	}
+	prev := uint64(mvcc.NoLoc)
+	if len(ks.Versions) > 0 {
+		prev = ks.Versions[0].Loc
+	}
+	e := mvcc.Envelope{Kind: mvcc.KindCommitPut, StartTS: cts, CommitTS: cts, PrevLoc: prev, Value: value}
+	nl := w.writeEnvelope(c, key, &e, done, out)
+	ks.Insert(mvcc.Version{CommitTS: cts, StartTS: cts, Loc: uint64(nl)})
+	if ks.Lock == nil {
+		// Under a lock the index keeps naming the intent slot.
+		w.indexPut(c, key, nl)
+	}
+}
+
+// mvccDelete answers a plain OpDelete in MVCC mode.
+func (w *worker) mvccDelete(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
+	if !w.mvccDeleteKey(c, r.Key, func(c env.Ctx, out *[]*aio.IO) {
+		w.respond(c, r, kv.Result{Found: true})
+	}, out) {
+		w.respond(c, r, kv.Result{})
+	}
+}
+
+// mvccDeleteKey is the plain-delete path in MVCC mode: single-version keys
+// are removed outright (index delete + tombstone, as without MVCC);
+// multi-version keys get a chained committed-delete envelope so older
+// snapshots keep reading the prior version until GC purges the key.
+func (w *worker) mvccDeleteKey(c env.Ctx, key []byte, done func(env.Ctx, *[]*aio.IO), out *[]*aio.IO) bool {
+	ks := w.mv.Get(key)
+	if ks == nil {
+		return w.deleteKey(c, key, done, out)
+	}
+	exists := len(ks.Versions) > 0 && !ks.Versions[0].Del
+	if !exists {
+		return false
+	}
+	cts := w.st.oracle.Next(c.Now())
+	e := mvcc.Envelope{Kind: mvcc.KindCommitDelete, StartTS: cts, CommitTS: cts, PrevLoc: ks.Versions[0].Loc}
+	nl := w.writeEnvelope(c, key, &e, done, out)
+	ks.Insert(mvcc.Version{CommitTS: cts, StartTS: cts, Loc: uint64(nl), Del: true})
+	if ks.Lock == nil {
+		w.indexPut(c, key, nl)
+	}
+	return true
+}
+
+// respondPlainEnv finishes a latest-semantics read: intents and committed
+// deletes read as absent.
+func (w *worker) respondPlainEnv(c env.Ctx, r *kv.Request, e *mvcc.Envelope, ok bool) {
+	if !ok || e.Intent() || e.Delete() {
+		w.respond(c, r, kv.Result{})
+		return
+	}
+	w.respondEnvValue(c, r, e, kv.TxnOK)
+}
+
+// mvccPlainGet answers a plain OpGet in MVCC mode: the newest committed
+// version, silently reading past any pending intent. The common case — no
+// table entry — is a map miss followed by the pre-MVCC read path with an
+// envelope strip, and stays allocation-free on a warm cache.
+func (w *worker) mvccPlainGet(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
+	if ks := w.mv.Get(r.Key); ks != nil && ks.Lock != nil {
+		if len(ks.Versions) == 0 || ks.Versions[0].Del {
+			w.respond(c, r, kv.Result{})
+			return
+		}
+		w.readVersion(c, r, ks.Versions[0], kv.TxnOK, out)
+		return
+	}
+	l, ok := w.lookup(c, r.Key)
+	if !ok {
+		w.respond(c, r, kv.Result{})
+		return
+	}
+	sl := w.slabs[l.class()]
+	if !sl.MultiPage() {
+		slot := l.slot()
+		page, off := sl.SlotPage(slot), sl.SlotOffset(slot)
+		c.CPU(w.cache.LookupCost())
+		if data := w.cache.Get(page); data != nil {
+			e, ok := w.decodeEnv(c, sl, off, nil, data)
+			w.respondPlainEnv(c, r, &e, ok)
+			return
+		}
+		w.readPage(c, page, func(c env.Ctx, data []byte, out *[]*aio.IO) {
+			e, ok := w.decodeEnv(c, sl, off, nil, data)
+			w.respondPlainEnv(c, r, &e, ok)
+		}, out)
+		return
+	}
+	w.readEnv(c, nil, l, func(c env.Ctx, e mvcc.Envelope, ok bool, out *[]*aio.IO) {
+		w.respondPlainEnv(c, r, &e, ok)
+	}, out)
+}
+
+// readVersion delivers the version v of r.Key, trusting the table: the slot's
+// envelope kind is ignored because a freshly committed version's slot may
+// still carry its intent kind while the flip write is in flight (the
+// in-memory publish happens only after the flip is durable, so v being listed
+// proves the commit).
+func (w *worker) readVersion(c env.Ctx, r *kv.Request, v mvcc.Version, status uint8, out *[]*aio.IO) {
+	if v.Del {
+		w.respond(c, r, kv.Result{Txn: status})
+		return
+	}
+	w.readEnv(c, r.Key, location(v.Loc), func(c env.Ctx, e mvcc.Envelope, ok bool, out *[]*aio.IO) {
+		if !ok {
+			w.respond(c, r, kv.Result{Txn: status})
+			return
+		}
+		w.respondEnvValue(c, r, &e, status)
+	}, out)
+}
+
+// mvccRMW is the YCSB-F read-modify-write under MVCC: read the newest
+// committed version (discarded), then autocommit the new value.
+func (w *worker) mvccRMW(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
+	write := func(c env.Ctx, out *[]*aio.IO) {
+		w.mvccUpdate(c, r.Key, r.Value, func(c env.Ctx, out *[]*aio.IO) {
+			w.respond(c, r, kv.Result{Found: true})
+		}, out)
+	}
+	if ks := w.mv.Get(r.Key); ks != nil {
+		if len(ks.Versions) == 0 || ks.Versions[0].Del {
+			w.respond(c, r, kv.Result{})
+			return
+		}
+		w.readEnv(c, r.Key, location(ks.Versions[0].Loc), func(c env.Ctx, e mvcc.Envelope, ok bool, out *[]*aio.IO) {
+			write(c, out)
+		}, out)
+		return
+	}
+	l, ok := w.lookup(c, r.Key)
+	if !ok {
+		w.respond(c, r, kv.Result{})
+		return
+	}
+	w.readEnv(c, r.Key, l, func(c env.Ctx, e mvcc.Envelope, ok bool, out *[]*aio.IO) {
+		if !ok || e.Intent() || e.Delete() {
+			w.respond(c, r, kv.Result{})
+			return
+		}
+		write(c, out)
+	}, out)
+}
+
+// ---------------------------------------------------------------------------
+// Transaction operations
+
+// startMVCC dispatches a request in MVCC mode: plain operations take their
+// autocommit variants, transaction operations their handlers.
+func (w *worker) startMVCC(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
+	switch r.Op {
+	case kv.OpGet:
+		w.mvccPlainGet(c, r, out)
+	case kv.OpUpdate:
+		w.mvccUpdate(c, r.Key, r.Value, func(c env.Ctx, out *[]*aio.IO) {
+			w.respond(c, r, kv.Result{Found: true})
+		}, out)
+	case kv.OpDelete:
+		w.mvccDelete(c, r, out)
+	case kv.OpRMW:
+		w.mvccRMW(c, r, out)
+	default:
+		w.startTxn(c, r, out)
+	}
+}
+
+// startTxn dispatches an OpTxn* request (empty result when MVCC is off).
+func (w *worker) startTxn(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
+	if w.mv == nil {
+		w.respond(c, r, kv.Result{})
+		return
+	}
+	switch r.Op {
+	case kv.OpTxnGet:
+		w.txnGet(c, r, out)
+	case kv.OpTxnPrewrite:
+		w.txnPrewrite(c, r, out)
+	case kv.OpTxnCommit:
+		w.txnCommit(c, r, out)
+	case kv.OpTxnResolve:
+		w.txnResolve(c, r, out)
+	case kv.OpTxnRollback:
+		w.txnRollback(c, r, out)
+	case kv.OpTxnGC:
+		w.txnGC(c, r, out)
+	default:
+		w.respond(c, r, kv.Result{})
+	}
+}
+
+// respondLocked hands a pending lock to the reader/writer for client-side
+// resolution; Result.Value carries the primary key.
+func (w *worker) respondLocked(c env.Ctx, r *kv.Request, lk *mvcc.Lock) {
+	val := append(r.ValueBuf[:0], lk.Primary...)
+	r.ValueBuf = val
+	w.respond(c, r, kv.Result{Value: val, Txn: kv.TxnLocked, TxnTS: lk.StartTS})
+}
+
+// txnGet is the snapshot read at r.TS. It never parks and never blocks the
+// write path: a pending lock is returned to the client (TxnLocked) for
+// resolution rather than waited on.
+func (w *worker) txnGet(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
+	rts := r.TS
+	ks := w.mv.Get(r.Key)
+	if ks == nil {
+		l, ok := w.lookup(c, r.Key)
+		if !ok {
+			w.respond(c, r, kv.Result{})
+			return
+		}
+		w.snapshotWalk(c, r, l, 0, out)
+		return
+	}
+	if lk := ks.Lock; lk != nil && lk.StartTS <= rts {
+		switch {
+		case lk.CommitTS != 0 && lk.CommitTS <= rts:
+			// Commit decided inside this snapshot, flip I/O still in flight.
+			if !bytes.Equal(lk.Primary, r.Key) {
+				// Secondary: the primary's flip is already durable (the
+				// manager touches secondaries only after the primary ack),
+				// so the intent value is committed state.
+				w.readVersion(c, r, mvcc.Version{CommitTS: lk.CommitTS, StartTS: lk.StartTS,
+					Loc: lk.IntentLoc, Del: lk.Del}, kv.TxnOK, out)
+				return
+			}
+			// Primary mid-flip: not durable yet — have the reader retry
+			// rather than serve a value a crash could still revoke.
+			w.respond(c, r, kv.Result{Txn: kv.TxnRetry, TxnTS: lk.CommitTS})
+			return
+		case lk.CommitTS == 0 && r.TS2 != lk.StartTS:
+			// Pending and unresolved: hand the lock to the reader.
+			w.respondLocked(c, r, lk)
+			return
+		}
+		// Committing above the snapshot, or resolved-as-pending (TS2 match,
+		// the primary has recorded our read timestamp): read past the lock.
+	}
+	v, ok := ks.VisibleAt(rts)
+	if !ok {
+		w.respond(c, r, kv.Result{})
+		return
+	}
+	w.readVersion(c, r, v, kv.TxnOK, out)
+}
+
+// snapshotWalk serves a snapshot read for a key with no table entry by
+// walking the on-disk PrevLoc chain from location l toward older versions.
+// Keys written only by autocommits retain no chain (their updates recycle the
+// slot), so a too-new head simply reads as absent at old snapshots — the
+// snapshot guarantee covers transactionally written keys.
+func (w *worker) snapshotWalk(c env.Ctx, r *kv.Request, l location, depth int, out *[]*aio.IO) {
+	w.readEnv(c, r.Key, l, func(c env.Ctx, e mvcc.Envelope, ok bool, out *[]*aio.IO) {
+		if !ok {
+			w.respond(c, r, kv.Result{})
+			return
+		}
+		if e.Intent() {
+			// A lock materialized between the table probe and this read; its
+			// KeyState exists now — re-dispatch through the in-memory path.
+			w.txnGet(c, r, out)
+			return
+		}
+		if e.CommitTS <= r.TS {
+			if e.Delete() {
+				w.respond(c, r, kv.Result{})
+				return
+			}
+			w.respondEnvValue(c, r, &e, kv.TxnOK)
+			return
+		}
+		if e.PrevLoc == mvcc.NoLoc || depth >= maxChainWalk {
+			w.respond(c, r, kv.Result{})
+			return
+		}
+		w.snapshotWalk(c, r, location(e.PrevLoc), depth+1, out)
+	}, out)
+}
+
+// txnPrewrite installs a percolator intent for the transaction that started
+// at r.TS. A cold key (no table entry) first reads its current envelope so
+// the write-write conflict check can compare commit timestamps.
+func (w *worker) txnPrewrite(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
+	ks := w.mv.Get(r.Key)
+	if ks == nil {
+		l, ok := w.lookup(c, r.Key)
+		if ok {
+			w.readEnv(c, r.Key, l, func(c env.Ctx, e mvcc.Envelope, ok bool, out *[]*aio.IO) {
+				ks := w.mv.Get(r.Key)
+				if ks == nil {
+					ks = w.mv.Ensure(r.Key)
+					if ok && e.Committed() {
+						ks.Versions = append(ks.Versions, mvcc.Version{
+							CommitTS: e.CommitTS, StartTS: e.StartTS, Loc: uint64(l), Del: e.Delete()})
+					}
+				}
+				w.prewriteLocked(c, r, ks, out)
+			}, out)
+			return
+		}
+		ks = w.mv.Ensure(r.Key)
+	}
+	w.prewriteLocked(c, r, ks, out)
+}
+
+// prewriteLocked runs the prewrite checks against in-memory state and, when
+// they pass, writes the intent slot; TxnOK is reported only once the intent
+// is durable.
+func (w *worker) prewriteLocked(c env.Ctx, r *kv.Request, ks *mvcc.KeyState, out *[]*aio.IO) {
+	if lk := ks.Lock; lk != nil {
+		if lk.StartTS == r.TS {
+			// Duplicate prewrite (client retry): the intent is in place.
+			w.respond(c, r, kv.Result{Found: true, Txn: kv.TxnOK})
+			return
+		}
+		w.respondLocked(c, r, lk)
+		return
+	}
+	if len(ks.Versions) > 0 && ks.Versions[0].CommitTS > r.TS {
+		// A version committed after this transaction's snapshot:
+		// first-committer-wins says we lose.
+		w.respond(c, r, kv.Result{Txn: kv.TxnWriteConflict, TxnTS: ks.Versions[0].CommitTS})
+		return
+	}
+	prev := uint64(mvcc.NoLoc)
+	if len(ks.Versions) > 0 {
+		prev = ks.Versions[0].Loc
+	}
+	kind := byte(mvcc.KindIntentPut)
+	if r.Del {
+		kind = mvcc.KindIntentDelete
+	}
+	e := mvcc.Envelope{Kind: kind, StartTS: r.TS, PrevLoc: prev, Primary: r.Aux, Value: r.Value}
+	nl := w.writeEnvelope(c, r.Key, &e, func(c env.Ctx, out *[]*aio.IO) {
+		w.respond(c, r, kv.Result{Found: true, Txn: kv.TxnOK})
+	}, out)
+	w.indexPut(c, r.Key, nl)
+	ks.Lock = &mvcc.Lock{
+		StartTS:   r.TS,
+		Primary:   append([]byte(nil), r.Aux...),
+		IntentLoc: uint64(nl),
+		Del:       r.Del,
+	}
+}
+
+// txnCommit flips the intent installed at start timestamp r.TS to a
+// committed version at commit timestamp r.TS2. On the primary key the
+// durable flip is the transaction's atomic commit point; the in-memory
+// version is published (and the lock released) only then, which is what lets
+// snapshot readers trust the table.
+func (w *worker) txnCommit(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
+	cts := r.TS2
+	ks := w.mv.Get(r.Key)
+	if ks == nil || ks.Lock == nil || ks.Lock.StartTS != r.TS {
+		// No matching intent: already committed (duplicate or roll-forward
+		// retry) or rolled back.
+		if ks != nil {
+			if v, ok := ks.VersionAt(r.TS); ok {
+				w.respond(c, r, kv.Result{Found: true, Txn: kv.TxnOK, TxnTS: v.CommitTS})
+				return
+			}
+			w.respond(c, r, kv.Result{Txn: kv.TxnAborted})
+			return
+		}
+		// Table entry gone (GC after commit): consult the indexed envelope.
+		l, ok := w.lookup(c, r.Key)
+		if !ok {
+			w.respond(c, r, kv.Result{Txn: kv.TxnAborted})
+			return
+		}
+		w.readEnv(c, r.Key, l, func(c env.Ctx, e mvcc.Envelope, ok bool, out *[]*aio.IO) {
+			if ok && e.Committed() && e.StartTS == r.TS {
+				w.respond(c, r, kv.Result{Found: true, Txn: kv.TxnOK, TxnTS: e.CommitTS})
+				return
+			}
+			w.respond(c, r, kv.Result{Txn: kv.TxnAborted})
+		}, out)
+		return
+	}
+	lk := ks.Lock
+	if lk.CommitTS != 0 {
+		// A flip for this intent is already in flight; let the caller retry
+		// until the durable publish resolves it one way or the other.
+		w.respond(c, r, kv.Result{Txn: kv.TxnRetry, TxnTS: lk.CommitTS})
+		return
+	}
+	if bytes.Equal(lk.Primary, r.Key) && cts <= lk.MaxReadTS {
+		// A reader with a snapshot at or above cts already read past this
+		// lock; committing at cts would insert a version inside that
+		// reader's past. The manager must fetch a fresh timestamp — the
+		// oracle's monotonicity makes the refetched value exceed every
+		// MaxReadTS recorded so far.
+		w.respond(c, r, kv.Result{Txn: kv.TxnRetry, TxnTS: lk.MaxReadTS})
+		return
+	}
+	lk.CommitTS = cts // commit decided; visibility still gated on durability
+	w.flipIntent(c, r.Key, lk, cts, func(c env.Ctx, out *[]*aio.IO) {
+		ks.Lock = nil
+		ks.Insert(mvcc.Version{CommitTS: cts, StartTS: lk.StartTS, Loc: lk.IntentLoc, Del: lk.Del})
+		w.respond(c, r, kv.Result{Found: true, Txn: kv.TxnOK, TxnTS: cts})
+	}, out)
+}
+
+// txnResolve reports the primary key's transaction state. While the
+// transaction is pending, the inquirer's snapshot timestamp (r.TS2) is
+// recorded as MaxReadTS so the eventual commit cannot slide beneath a read
+// that already happened; the inquirer may then read past the lock.
+func (w *worker) txnResolve(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
+	ks := w.mv.Get(r.Key)
+	if ks != nil && ks.Lock != nil && ks.Lock.StartTS == r.TS {
+		lk := ks.Lock
+		if lk.CommitTS != 0 {
+			// Mid-flip: not yet durable, so neither "pending" (a bump would
+			// be useless) nor "committed" (roll-forward would outrun the
+			// primary). The inquirer retries shortly.
+			w.respond(c, r, kv.Result{Txn: kv.TxnRetry, TxnTS: lk.CommitTS})
+			return
+		}
+		if r.TS2 > lk.MaxReadTS {
+			lk.MaxReadTS = r.TS2
+		}
+		w.respond(c, r, kv.Result{Txn: kv.TxnPending, TxnTS: lk.StartTS})
+		return
+	}
+	if ks != nil {
+		if v, ok := ks.VersionAt(r.TS); ok {
+			w.respond(c, r, kv.Result{Txn: kv.TxnCommitted, TxnTS: v.CommitTS})
+			return
+		}
+		w.respond(c, r, kv.Result{Txn: kv.TxnAborted})
+		return
+	}
+	l, ok := w.lookup(c, r.Key)
+	if !ok {
+		w.respond(c, r, kv.Result{Txn: kv.TxnAborted})
+		return
+	}
+	w.readEnv(c, r.Key, l, func(c env.Ctx, e mvcc.Envelope, ok bool, out *[]*aio.IO) {
+		if ok && e.Committed() && e.StartTS == r.TS {
+			w.respond(c, r, kv.Result{Txn: kv.TxnCommitted, TxnTS: e.CommitTS})
+			return
+		}
+		w.respond(c, r, kv.Result{Txn: kv.TxnAborted})
+	}, out)
+}
+
+// txnRollback removes the intent installed at start timestamp r.TS (lazy
+// lock cleanup and the write-conflict abort path). A commit already in
+// flight refuses the rollback.
+func (w *worker) txnRollback(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
+	ks := w.mv.Get(r.Key)
+	if ks == nil || ks.Lock == nil || ks.Lock.StartTS != r.TS {
+		if ks != nil {
+			if v, ok := ks.VersionAt(r.TS); ok {
+				w.respond(c, r, kv.Result{Txn: kv.TxnCommitted, TxnTS: v.CommitTS})
+				return
+			}
+		}
+		w.respond(c, r, kv.Result{Txn: kv.TxnOK}) // nothing to undo
+		return
+	}
+	lk := ks.Lock
+	if lk.CommitTS != 0 {
+		w.respond(c, r, kv.Result{Txn: kv.TxnCommitted, TxnTS: lk.CommitTS})
+		return
+	}
+	ks.Lock = nil
+	if len(ks.Versions) > 0 {
+		w.indexPut(c, r.Key, location(ks.Versions[0].Loc))
+	} else {
+		w.indexDelete(c, r.Key)
+		w.mv.Delete(r.Key)
+	}
+	w.freeSlot(c, location(lk.IntentLoc), func(c env.Ctx, out *[]*aio.IO) {
+		w.respond(c, r, kv.Result{Found: true, Txn: kv.TxnOK})
+	}, out)
+}
+
+// txnGC trims versions no snapshot at or above watermark r.TS can read.
+// Callers must keep the watermark at or below the start timestamp of every
+// unresolved transaction (a pending transaction's commit always lands above
+// its own start, so such a watermark can never trim evidence a secondary
+// still needs for roll-forward). Result.ScanN reports the slots freed.
+func (w *worker) txnGC(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
+	wm := r.TS
+	keys := w.mv.Keys(nil)
+	c.CPU(env.Time(len(keys)) * costs.IterStep)
+	freed := 0
+	for _, k := range keys {
+		kb := []byte(k)
+		ks := w.mv.Get(kb)
+		// Pivot: the newest version a snapshot at the watermark reads.
+		// Everything older is unreachable by any snapshot we still serve.
+		pivot := -1
+		for i, v := range ks.Versions {
+			if v.CommitTS <= wm {
+				pivot = i
+				break
+			}
+		}
+		if pivot >= 0 {
+			for _, v := range ks.Versions[pivot+1:] {
+				w.freeSlot(c, location(v.Loc), nil, out)
+				freed++
+			}
+			ks.Versions = ks.Versions[:pivot+1]
+		}
+		if ks.Lock != nil || len(ks.Versions) != 1 || ks.Versions[0].CommitTS > wm {
+			continue
+		}
+		// Down to a single settled version: the key leaves the table. A
+		// settled delete is purged entirely — index entry and slot.
+		if ks.Versions[0].Del {
+			w.indexDelete(c, kb)
+			w.freeSlot(c, location(ks.Versions[0].Loc), nil, out)
+			freed++
+		}
+		w.mv.Delete(kb)
+	}
+	w.respond(c, r, kv.Result{Found: true, Txn: kv.TxnOK, ScanN: freed})
+}
+
+// ---------------------------------------------------------------------------
+// Store-level API: oracle, snapshot reads, scans, settlement
+
+// Oracle returns the store's timestamp oracle (nil unless Config.MVCC).
+func (s *Store) Oracle() *mvcc.Oracle { return s.oracle }
+
+// NextTS fetches a fresh start/commit timestamp from the store's oracle.
+func (s *Store) NextTS(c env.Ctx) uint64 { return s.oracle.Next(c.Now()) }
+
+// SnapshotTS returns a timestamp at which a snapshot observes every
+// transaction committed so far, without consuming one: any commit still in
+// flight will fetch a strictly larger timestamp.
+func (s *Store) SnapshotTS() uint64 { return s.oracle.Last() }
+
+// GetAt performs a snapshot read of key as of timestamp ts, blocking the
+// calling thread. Pending locks are resolved through their primary key —
+// roll-forward, lazy cleanup, or a read-watermark bump that lets the read
+// proceed past the lock — so the read never waits on a writer.
+func (s *Store) GetAt(c env.Ctx, key []byte, ts uint64) ([]byte, bool) {
+	var skip uint64
+	bo := mvcc.NewBackoff(int64(kv.Hash64(key)^ts), 2*env.Microsecond, 256*env.Microsecond)
+	for {
+		res := s.Do(c, &kv.Request{Op: kv.OpTxnGet, Key: key, TS: ts, TS2: skip})
+		switch res.Txn {
+		case kv.TxnLocked:
+			primary := append([]byte(nil), res.Value...)
+			st := s.ResolveLock(c, primary, res.TxnTS, ts)
+			switch st.Txn {
+			case kv.TxnPending:
+				skip = res.TxnTS // primary recorded our snapshot; read past
+			case kv.TxnCommitted:
+				s.Do(c, &kv.Request{Op: kv.OpTxnCommit, Key: key, TS: res.TxnTS, TS2: st.TxnTS})
+				skip = 0
+			case kv.TxnAborted:
+				s.Do(c, &kv.Request{Op: kv.OpTxnRollback, Key: key, TS: res.TxnTS})
+				skip = 0
+			default: // mid-flip
+				c.Sleep(bo.Next())
+				skip = 0
+			}
+		case kv.TxnRetry:
+			c.Sleep(bo.Next())
+		default:
+			return res.Value, res.Found
+		}
+	}
+}
+
+// ResolveLock queries the state of the transaction whose primary lock is on
+// primary, recording rts as a read watermark while it is pending.
+func (s *Store) ResolveLock(c env.Ctx, primary []byte, startTS, rts uint64) kv.Result {
+	return s.Do(c, &kv.Request{Op: kv.OpTxnResolve, Key: primary, TS: startTS, TS2: rts})
+}
+
+// ScanAtN returns up to count items with key >= start as they stood at
+// snapshot ts. Candidates come from one pass over the worker indexes; each is
+// then read through the full snapshot machinery (lock resolution included),
+// so the result never exposes a torn multi-key state. The scan runs on the
+// calling thread and never blocks a worker.
+func (s *Store) ScanAtN(c env.Ctx, start []byte, count int, ts uint64) []kv.Item {
+	cands := s.collect(c, func(w *worker) ([][]byte, []uint64) {
+		return w.idx.FirstN(start, count)
+	})
+	if len(cands) > count {
+		cands = cands[:count]
+	}
+	var items []kv.Item
+	for _, cd := range cands {
+		if v, ok := s.GetAt(c, cd.key, ts); ok {
+			items = append(items, kv.Item{Key: cd.key, Value: v})
+		}
+	}
+	return items
+}
+
+// mvccRemapCands redirects latest-semantics scan candidates for keys in the
+// version table: reads go to the newest committed version (never an intent),
+// and keys whose newest committed version is a delete drop out.
+func (s *Store) mvccRemapCands(cands []candidate) []candidate {
+	out := cands[:0]
+	for _, cd := range cands {
+		if ks := cd.w.mv.Get(cd.key); ks != nil {
+			if len(ks.Versions) == 0 || ks.Versions[0].Del {
+				continue
+			}
+			cd.l = location(ks.Versions[0].Loc)
+		}
+		out = append(out, cd)
+	}
+	return out
+}
+
+// GC trims, on every worker, versions no snapshot at or above watermark can
+// read (see txnGC for the watermark contract). It returns the number of
+// slots freed.
+func (s *Store) GC(c env.Ctx, watermark uint64) int {
+	freed := 0
+	for _, w := range s.workers {
+		r := &kv.Request{Op: kv.OpTxnGC, Key: []byte("gc"), TS: watermark}
+		wt := s.newWaiter()
+		r.Done = wt.complete
+		c.CPU(costs.Callback)
+		w.q.Push(c, r)
+		freed += wt.wait(c).ScanN
+	}
+	return freed
+}
+
+// PendingLocks returns how many keys currently hold a pending intent. Pure
+// in-memory inspection for tests and settlement; safe whenever no worker is
+// mutating (the simulation is cooperative).
+func (s *Store) PendingLocks() int {
+	n := 0
+	for _, w := range s.workers {
+		if w.mv == nil {
+			continue
+		}
+		for _, k := range w.mv.Keys(nil) {
+			if ks := w.mv.Get([]byte(k)); ks != nil && ks.Lock != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ResolveIntents settles every intent left pending by a crash: each is
+// resolved through its primary — rolled forward when the primary committed
+// (its durable flip happened before any ack), rolled back otherwise. Call it
+// after Recover and Start, before admitting new traffic. It returns the
+// number of intents settled.
+func (s *Store) ResolveIntents(c env.Ctx) int {
+	type pend struct {
+		key     string
+		primary string
+		startTS uint64
+	}
+	var pends []pend
+	for _, w := range s.workers {
+		if w.mv == nil {
+			continue
+		}
+		for _, k := range w.mv.Keys(nil) {
+			if ks := w.mv.Get([]byte(k)); ks != nil && ks.Lock != nil {
+				pends = append(pends, pend{key: k, primary: string(ks.Lock.Primary), startTS: ks.Lock.StartTS})
+			}
+		}
+	}
+	sort.Slice(pends, func(i, j int) bool {
+		if pends[i].key != pends[j].key {
+			return pends[i].key < pends[j].key
+		}
+		return pends[i].startTS < pends[j].startTS
+	})
+	n := 0
+	for _, p := range pends {
+		kb := []byte(p.key)
+		ks := s.workerFor(kb).mv.Get(kb)
+		if ks == nil || ks.Lock == nil || ks.Lock.StartTS != p.startTS {
+			continue // already settled through an earlier sibling
+		}
+		st := s.ResolveLock(c, []byte(p.primary), p.startTS, 0)
+		switch st.Txn {
+		case kv.TxnPending:
+			// The primary intent never flipped, so the transaction never
+			// reached its commit point: roll everything back, primary first.
+			s.Do(c, &kv.Request{Op: kv.OpTxnRollback, Key: []byte(p.primary), TS: p.startTS})
+			if p.key != p.primary {
+				s.Do(c, &kv.Request{Op: kv.OpTxnRollback, Key: kb, TS: p.startTS})
+			}
+		case kv.TxnCommitted:
+			s.Do(c, &kv.Request{Op: kv.OpTxnCommit, Key: kb, TS: p.startTS, TS2: st.TxnTS})
+		default:
+			s.Do(c, &kv.Request{Op: kv.OpTxnRollback, Key: kb, TS: p.startTS})
+		}
+		n++
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+// recVer is one live envelope slot found during an MVCC recovery scan.
+type recVer struct {
+	loc      location
+	hdrTS    uint64
+	startTS  uint64
+	commitTS uint64
+	kind     byte
+	primary  []byte // intents only (copied)
+}
+
+// mvccRecoverSlot records a scanned live slot for the post-scan rebuild. It
+// returns false when the payload does not decode as an envelope (a torn
+// sub-page payload); the caller then treats the slot as free space.
+func (w *worker) mvccRecoverSlot(sl *slab.Slab, slotIdx uint64, d slab.Decoded) bool {
+	e, ok := mvcc.Decode(d.Item.Value)
+	if !ok {
+		return false
+	}
+	rv := recVer{
+		loc:      loc(sl.ClassIndex, slotIdx),
+		hdrTS:    d.Item.Timestamp,
+		startTS:  e.StartTS,
+		commitTS: e.CommitTS,
+		kind:     e.Kind,
+	}
+	if e.Intent() {
+		rv.primary = append([]byte(nil), e.Primary...)
+	}
+	w.recMVCC[string(d.Item.Key)] = append(w.recMVCC[string(d.Item.Key)], rv)
+	sl.Live++
+	return true
+}
+
+// mvccFinishRecovery rebuilds the index and version table from the slots the
+// scan collected: per key, the newest intent (arbitrated by the slot header
+// timestamp — a rolled-back intent whose tombstone was lost decodes older
+// than its successor) plus every committed version, newest first. Losing
+// duplicates go back on the free list in memory only, exactly like the
+// non-MVCC duplicate rule: after another crash the same arbitration repeats.
+func (w *worker) mvccFinishRecovery() {
+	keys := make([]string, 0, len(w.recMVCC))
+	for k := range w.recMVCC {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		vers := w.recMVCC[k]
+		var intent *recVer
+		committed := make([]recVer, 0, len(vers))
+		for i := range vers {
+			v := &vers[i]
+			if v.commitTS > w.maxCommitTS {
+				w.maxCommitTS = v.commitTS
+			}
+			if v.startTS > w.maxCommitTS {
+				w.maxCommitTS = v.startTS
+			}
+			if v.kind == mvcc.KindIntentPut || v.kind == mvcc.KindIntentDelete {
+				if intent == nil || v.hdrTS > intent.hdrTS {
+					if intent != nil {
+						w.dropRecovered(intent.loc)
+					}
+					intent = v
+				} else {
+					w.dropRecovered(v.loc)
+				}
+				continue
+			}
+			committed = append(committed, *v)
+		}
+		sort.Slice(committed, func(i, j int) bool {
+			if committed[i].commitTS != committed[j].commitTS {
+				return committed[i].commitTS > committed[j].commitTS
+			}
+			return committed[i].hdrTS > committed[j].hdrTS
+		})
+		kb := []byte(k)
+		switch {
+		case intent != nil:
+			w.idx.Put(kb, uint64(intent.loc))
+		case len(committed) > 0:
+			w.idx.Put(kb, uint64(committed[0].loc))
+		default:
+			continue
+		}
+		// The table covers exactly the uncheckpointed window: a lock, more
+		// than one retained version, or a not-yet-purged committed delete.
+		if intent == nil && len(committed) == 1 && committed[0].kind != mvcc.KindCommitDelete {
+			continue
+		}
+		ks := w.mv.Ensure(kb)
+		if intent != nil {
+			ks.Lock = &mvcc.Lock{
+				StartTS:   intent.startTS,
+				Primary:   intent.primary,
+				IntentLoc: uint64(intent.loc),
+				Del:       intent.kind == mvcc.KindIntentDelete,
+			}
+		}
+		for _, v := range committed {
+			ks.Versions = append(ks.Versions, mvcc.Version{
+				CommitTS: v.commitTS,
+				StartTS:  v.startTS,
+				Loc:      uint64(v.loc),
+				Del:      v.kind == mvcc.KindCommitDelete,
+			})
+		}
+	}
+	w.recMVCC = nil
+}
+
+// dropRecovered returns a recovery-losing slot to its free list (in memory
+// only, like the non-MVCC duplicate rule).
+func (w *worker) dropRecovered(l location) {
+	sl := w.slabs[l.class()]
+	sl.Free.PushHead(l.slot())
+	sl.Live--
+}
+
+// ---------------------------------------------------------------------------
+// Audit
+
+// CheckMVCC audits the version/lock tables and on-disk version chains
+// against the disk image — the MVCC counterpart of CheckConsistency, for the
+// crash harness. Host-side only: call with no workers running.
+//
+// Invariants checked, per worker:
+//   - every indexed slot decodes as a live envelope for its key;
+//   - no slot is reachable from two different keys' PrevLoc chains;
+//   - no free-list head aliases a chain-reachable slot;
+//   - every table entry's lock points at a live intent with its start
+//     timestamp, and its versions are ordered newest-first with live slots.
+func (s *Store) CheckMVCC() error {
+	if !s.cfg.MVCC {
+		return nil
+	}
+	for _, w := range s.workers {
+		if err := w.checkMVCC(); err != nil {
+			return fmt.Errorf("worker %d: %w", w.id, err)
+		}
+	}
+	return nil
+}
+
+func (w *worker) checkMVCC() error {
+	st := storeOf(w.dev)
+	readSlot := func(l location) (mvcc.Envelope, []byte, bool, error) {
+		sl := w.slabs[l.class()]
+		slot := l.slot()
+		buf := make([]byte, sl.PagesPerSlot()*device.PageSize)
+		if sl.MultiPage() {
+			if err := st.ReadPages(sl.SlotPage(slot), buf); err != nil {
+				return mvcc.Envelope{}, nil, false, err
+			}
+		} else {
+			if err := st.ReadPages(sl.SlotPage(slot), buf); err != nil {
+				return mvcc.Envelope{}, nil, false, err
+			}
+			off := sl.SlotOffset(slot)
+			buf = buf[off : off+sl.Stride]
+		}
+		d, err := sl.DecodeSlot(buf)
+		if err != nil || d.Kind != slab.Live {
+			return mvcc.Envelope{}, nil, false, nil
+		}
+		e, ok := mvcc.Decode(d.Item.Value)
+		if !ok {
+			return mvcc.Envelope{}, nil, false, nil
+		}
+		return e, d.Item.Key, true, nil
+	}
+
+	// Chain ownership: walk every indexed key's PrevLoc chain; a slot
+	// reachable from two different keys' chains means a version write
+	// corrupted the previous-version links.
+	owner := make(map[location]string)
+	var verr error
+	w.idx.AscendFrom(nil, func(key []byte, v uint64) bool {
+		l := location(v)
+		for hop := 0; hop < maxChainWalk; hop++ {
+			e, slotKey, live, err := readSlot(l)
+			if err != nil {
+				verr = fmt.Errorf("key %q: read chain slot %d/%d: %w", key, l.class(), l.slot(), err)
+				return false
+			}
+			if !live || !bytes.Equal(slotKey, key) {
+				break // chain ends at a freed/reused slot (below the watermark)
+			}
+			if prev, dup := owner[l]; dup {
+				if prev != string(key) {
+					verr = fmt.Errorf("slot %d/%d reachable from chains of %q and %q",
+						l.class(), l.slot(), prev, key)
+					return false
+				}
+				break // already walked from this key (shouldn't happen; index is unique)
+			}
+			owner[l] = string(key)
+			if e.PrevLoc == mvcc.NoLoc {
+				break
+			}
+			l = location(e.PrevLoc)
+		}
+		return true
+	})
+	if verr != nil {
+		return verr
+	}
+	for cls, sl := range w.slabs {
+		for _, head := range sl.Free.Heads() {
+			if o, dup := owner[loc(cls, head)]; dup {
+				return fmt.Errorf("class %d: free head %d is live on key %q's version chain", cls, head, o)
+			}
+		}
+	}
+	// Table entries against disk.
+	for _, k := range w.mv.Keys(nil) {
+		kb := []byte(k)
+		ks := w.mv.Get(kb)
+		if lk := ks.Lock; lk != nil {
+			e, slotKey, live, err := readSlot(location(lk.IntentLoc))
+			if err != nil {
+				return err
+			}
+			if !live || !bytes.Equal(slotKey, kb) {
+				return fmt.Errorf("key %q: lock intent slot %d/%d not live for the key",
+					k, location(lk.IntentLoc).class(), location(lk.IntentLoc).slot())
+			}
+			if e.StartTS != lk.StartTS {
+				return fmt.Errorf("key %q: intent slot start ts %d, lock says %d", k, e.StartTS, lk.StartTS)
+			}
+		}
+		last := ^uint64(0)
+		for i, v := range ks.Versions {
+			if v.CommitTS >= last {
+				return fmt.Errorf("key %q: versions not newest-first at index %d", k, i)
+			}
+			last = v.CommitTS
+			_, slotKey, live, err := readSlot(location(v.Loc))
+			if err != nil {
+				return err
+			}
+			if !live || !bytes.Equal(slotKey, kb) {
+				return fmt.Errorf("key %q: version slot %d/%d (commit ts %d) not live for the key",
+					k, location(v.Loc).class(), location(v.Loc).slot(), v.CommitTS)
+			}
+		}
+	}
+	return nil
+}

@@ -55,6 +55,13 @@ func (s *Store) Recover(c env.Ctx) error {
 		cond.Wait(c)
 	}
 	mu.Unlock(c)
+	if s.oracle != nil {
+		// Re-floor the oracle above every commit/start timestamp found on
+		// disk so post-crash timestamps sort after all pre-crash ones.
+		for _, w := range s.workers {
+			s.oracle.Observe(w.maxCommitTS)
+		}
+	}
 	return firstErr
 }
 
@@ -62,10 +69,16 @@ func (s *Store) Recover(c env.Ctx) error {
 func (w *worker) recover(c env.Ctx) error {
 	w.liveTS = make(map[string]uint64)
 	defer func() { w.liveTS = nil }() // only needed to arbitrate duplicates
+	if w.mv != nil {
+		w.recMVCC = make(map[string][]recVer)
+	}
 	for _, sl := range w.slabs {
 		if err := w.recoverSlab(c, sl); err != nil {
 			return err
 		}
+	}
+	if w.mv != nil {
+		w.mvccFinishRecovery()
 	}
 	return nil
 }
@@ -125,7 +138,14 @@ func (w *worker) recoverSlab(c env.Ctx, sl *slab.Slab) error {
 				if d.Item.Timestamp > maxTS {
 					maxTS = d.Item.Timestamp
 				}
-				w.recoverLive(c, sl, slotIdx, d)
+				if w.mv != nil {
+					if !w.mvccRecoverSlot(sl, slotIdx, d) {
+						// Not an envelope (torn payload): free space.
+						tombs[slotIdx] = freelist.NoSlot
+					}
+				} else {
+					w.recoverLive(c, sl, slotIdx, d)
+				}
 			}
 		}
 		if empty {

@@ -12,6 +12,7 @@ import (
 	"kvell/internal/env"
 	"kvell/internal/hotcache"
 	"kvell/internal/kv"
+	"kvell/internal/mvcc"
 	"kvell/internal/pagecache"
 	"kvell/internal/slab"
 	"kvell/internal/trace"
@@ -23,6 +24,10 @@ type Store struct {
 	cfg     Config
 	workers []*worker
 	started bool
+	// oracle issues commit/snapshot timestamps in MVCC mode (nil otherwise).
+	// Single-node stores own it directly; a cluster shares machine 0's
+	// through the network layer.
+	oracle *mvcc.Oracle
 }
 
 // Open constructs a store (no I/O happens yet). If the disks contain data
@@ -33,6 +38,9 @@ func Open(e env.Env, cfg Config) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{env: e, cfg: cfg}
+	if cfg.MVCC {
+		s.oracle = &mvcc.Oracle{}
+	}
 	d := len(cfg.Disks)
 	perClass := cfg.WorkerRegionPages / int64(len(cfg.Classes)+1)
 	cachePer := cfg.PageCachePages / cfg.Workers
@@ -59,6 +67,9 @@ func Open(e env.Env, cfg Config) (*Store, error) {
 		w.logBase = base + int64(len(cfg.Classes))*perClass
 		w.logPages = perClass
 		w.state = w
+		if cfg.MVCC {
+			w.mv = mvcc.NewTable()
+		}
 		w.initAIO()
 		if cfg.AbsorbInterval > 0 {
 			w.ab = newAbsorber()
@@ -230,6 +241,12 @@ func (s *Store) collect(c env.Ctx, gather func(w *worker) ([][]byte, []uint64)) 
 // fetch reads the values for cands via location-direct worker requests and
 // blocks until all arrive.
 func (s *Store) fetch(c env.Ctx, cands []candidate) []kv.Item {
+	if s.cfg.MVCC {
+		// Redirect multi-version keys to their newest committed version and
+		// drop keys whose newest committed version is a delete; the reads
+		// below then unwrap envelopes (locReq.env).
+		cands = s.mvccRemapCands(cands)
+	}
 	if len(cands) == 0 {
 		return nil
 	}
@@ -238,7 +255,7 @@ func (s *Store) fetch(c env.Ctx, cands []candidate) []kv.Item {
 	for i, cd := range cands {
 		i, cd := i, cd
 		j.items[i].Key = cd.key
-		cd.w.q.Push(c, &locReq{key: cd.key, l: cd.l, join: j, idx: i})
+		cd.w.q.Push(c, &locReq{key: cd.key, l: cd.l, join: j, idx: i, env: s.cfg.MVCC})
 	}
 	t0 := c.Now()
 	j.mu.Lock(c)
@@ -287,10 +304,20 @@ func (s *Store) BulkLoad(items []kv.Item) error {
 		}
 		return pb.data
 	}
+	var envBuf []byte
 	for _, oi := range order {
 		it := items[oi]
 		w := s.workerFor(it.Key)
-		cls := slab.ClassFor(s.cfg.Classes, len(it.Key), len(it.Value))
+		val := it.Value
+		if s.cfg.MVCC {
+			// Loaded items are committed versions at timestamp 1 (the oracle
+			// floor is raised below so no later commit collides).
+			e := mvcc.Envelope{Kind: mvcc.KindCommitPut, StartTS: 1, CommitTS: 1,
+				PrevLoc: mvcc.NoLoc, Value: it.Value}
+			envBuf = mvcc.AppendEncode(envBuf[:0], &e)
+			val = envBuf
+		}
+		cls := slab.ClassFor(s.cfg.Classes, len(it.Key), len(val))
 		if cls < 0 {
 			return fmt.Errorf("core: item with key %q too large for configured classes", it.Key)
 		}
@@ -299,7 +326,7 @@ func (s *Store) BulkLoad(items []kv.Item) error {
 		ts := w.nextTS()
 		if sl.MultiPage() {
 			buf := make([]byte, sl.PagesPerSlot()*device.PageSize)
-			if err := sl.EncodeItem(buf, ts, it.Key, it.Value); err != nil {
+			if err := sl.EncodeItem(buf, ts, it.Key, val); err != nil {
 				return err
 			}
 			if err := storeOf(w.dev).WritePages(sl.SlotPage(slot), buf); err != nil {
@@ -308,11 +335,14 @@ func (s *Store) BulkLoad(items []kv.Item) error {
 		} else {
 			page := sl.SlotPage(slot)
 			data := getPage(w, page)
-			if err := sl.EncodeItem(data[sl.SlotOffset(slot):sl.SlotOffset(slot)+sl.Stride], ts, it.Key, it.Value); err != nil {
+			if err := sl.EncodeItem(data[sl.SlotOffset(slot):sl.SlotOffset(slot)+sl.Stride], ts, it.Key, val); err != nil {
 				return err
 			}
 		}
 		w.idx.Put(it.Key, uint64(loc(cls, slot)))
+	}
+	if s.oracle != nil {
+		s.oracle.Observe(1)
 	}
 	// Flush accumulated sub-page buffers in key order: map iteration order
 	// is randomized per run and the writes must not be.
@@ -361,6 +391,10 @@ type Stats struct {
 	HotPromotions    int64 // records promoted into the hot tier
 	HotDemotions     int64 // records demoted to make room
 	HotInvalidations int64 // cached records dropped by writes/deletes
+
+	// MVCCKeys is the number of keys in the uncheckpointed multi-version
+	// window (pending intent or >1 retained version); zero when MVCC is off.
+	MVCCKeys int64
 }
 
 // Stats returns aggregate statistics.
@@ -379,6 +413,9 @@ func (s *Store) Stats() Stats {
 			st.AbsorbReads += w.ab.reads
 			st.AbsorbFlushes += w.ab.flushes
 			st.AbsorbWrites += w.ab.groupedW
+		}
+		if w.mv != nil {
+			st.MVCCKeys += int64(w.mv.Len())
 		}
 		if w.hot != nil {
 			st.HotHits += w.hot.Hits()

@@ -11,6 +11,7 @@ import (
 	"kvell/internal/freelist"
 	"kvell/internal/hotcache"
 	"kvell/internal/kv"
+	"kvell/internal/mvcc"
 	"kvell/internal/pagecache"
 	"kvell/internal/slab"
 	"kvell/internal/trace"
@@ -29,6 +30,11 @@ type locReq struct {
 	l    location
 	join *scanJoin
 	idx  int
+	// env marks an MVCC-mode read: the slot holds an envelope whose user
+	// value must be unwrapped; an intent at the head of the chain is read
+	// through to its newest committed predecessor (hops bounds the walk).
+	env  bool
+	hops int
 }
 
 // prJoiner is one operation waiting on a pending page read, with the trace
@@ -131,6 +137,16 @@ type worker struct {
 
 	// Hot-key record cache (nil when tiering is disabled); see tiered.go.
 	hot *hotcache.Cache
+
+	// MVCC state (nil/zero unless Config.MVCC); see mvcc.go. mv tracks keys
+	// in the uncheckpointed window (pending intent or >1 retained version),
+	// envFree pools envelope-encode buffers, recMVCC gathers scanned
+	// envelope slots during recovery, and maxCommitTS is the largest commit
+	// or start timestamp recovery saw (it re-floors the oracle).
+	mv          *mvcc.Table
+	envFree     [][]byte
+	recMVCC     map[string][]recVer
+	maxCommitTS uint64
 
 	reqs int64
 }
@@ -358,6 +374,10 @@ func (w *worker) start(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
 	if w.ab != nil && w.absorbStart(c, r, out) {
 		return
 	}
+	if w.mv != nil {
+		w.startMVCC(c, r, out)
+		return
+	}
 	switch r.Op {
 	case kv.OpGet:
 		// The hot tier is probed after the absorb buffer (whose copy is
@@ -395,9 +415,7 @@ func (w *worker) start(c env.Ctx, r *kv.Request, out *[]*aio.IO) {
 }
 
 func (w *worker) startLoc(c env.Ctx, lr *locReq, out *[]*aio.IO) {
-	// Scan values are retained past delivery (they land in the join's item
-	// slice), so no scratch buffer: each read allocates its value.
-	w.doGetKey(c, lr.key, lr.l, func(c env.Ctx, val []byte, out *[]*aio.IO) {
+	deliver := func(c env.Ctx, val []byte) {
 		j := lr.join
 		j.mu.Lock(c)
 		j.items[lr.idx].Value = val
@@ -407,6 +425,32 @@ func (w *worker) startLoc(c env.Ctx, lr *locReq, out *[]*aio.IO) {
 		if done {
 			j.cond.Broadcast(c)
 		}
+	}
+	if lr.env {
+		// MVCC mode: unwrap the envelope; a candidate whose slot turned into
+		// a prewrite intent since the index snapshot reads through to its
+		// newest committed predecessor (latest-semantics scan, §5.5's
+		// "approximately correct" contract).
+		w.readEnv(c, lr.key, lr.l, func(c env.Ctx, e mvcc.Envelope, ok bool, out *[]*aio.IO) {
+			if ok && e.Intent() && e.PrevLoc != mvcc.NoLoc && lr.hops < maxChainWalk {
+				lr.l = location(e.PrevLoc)
+				lr.hops++
+				w.startLoc(c, lr, out)
+				return
+			}
+			if !ok || e.Intent() || e.Delete() {
+				deliver(c, nil)
+				return
+			}
+			c.CPU(costs.MemBytes(len(e.Value)))
+			deliver(c, append([]byte(nil), e.Value...))
+		}, out)
+		return
+	}
+	// Scan values are retained past delivery (they land in the join's item
+	// slice), so no scratch buffer: each read allocates its value.
+	w.doGetKey(c, lr.key, lr.l, func(c env.Ctx, val []byte, out *[]*aio.IO) {
+		deliver(c, val)
 	}, nil, out)
 }
 

@@ -94,6 +94,7 @@ func All() []Experiment {
 		{"absorb", "Write absorption: device-write reduction under open-loop skewed updates", absorbExp},
 		{"tiering", "Hot/cold tiering: hot-key cache vs a slow cold SSD across skews and cache sizes", tieringExp},
 		{"cluster", "Sharded KVell across simulated machines: YCSB scaling and leader failover", clusterExp},
+		{"txn", "MVCC transactions: bank conservation across a conflict-rate × txn-size sweep and a cluster kill", txnExp},
 		{"traceattr", "Latency attribution: Figure 2's tail spikes traced to their maintenance cause", traceAttr},
 		{"oldssd", "KVell on a 2013-era SSD: a trade-off, not a win (§6.5.4)", oldSSD},
 		{"cpuperio", "CPU-per-I/O cap on achievable IOPS (§6.4.1)", cpuPerIO},

@@ -1,0 +1,1247 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+
+	"kvell/internal/cluster"
+	"kvell/internal/core"
+	"kvell/internal/device"
+	"kvell/internal/env"
+	"kvell/internal/fault"
+	"kvell/internal/kv"
+	"kvell/internal/mvcc"
+	"kvell/internal/net"
+	"kvell/internal/sim"
+	"kvell/internal/stats"
+	"kvell/internal/trace"
+	"kvell/internal/txn"
+)
+
+// The txnbank workload: accounts hold fixed-point balances, movers transfer
+// between randomly drawn accounts inside percolator transactions, and the
+// invariant is conservation — the sum of all balances never changes, at any
+// snapshot, across crashes and failovers. Because every transfer debits
+// exactly what it credits, conservation at a snapshot is equivalent to "no
+// transaction is ever visible half-applied", which is the whole point of the
+// transaction layer.
+
+// balSize is the account value: 8-byte little-endian signed balance plus an
+// 8-byte tag (the writing transaction's start timestamp) so torn or
+// cross-transaction mixes are detectable by byte comparison.
+const balSize = 16
+
+func encBal(v int64, tag uint64) []byte {
+	b := make([]byte, balSize)
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+		b[8+i] = byte(tag >> (8 * i))
+	}
+	return b
+}
+
+func decBal(b []byte) int64 {
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	return int64(u)
+}
+
+// pickTxnKeys draws n distinct account numbers. theta is the conflict knob:
+// the probability a draw comes from the hot set of max(2, accounts/64)
+// accounts. theta=0 is uniform (near-zero conflict); theta=1 serializes
+// everything through the hot set.
+func pickTxnKeys(rng *rand.Rand, accounts int64, n int, theta float64) []int64 {
+	hot := accounts / 64
+	if hot < 2 {
+		hot = 2
+	}
+	out := make([]int64, 0, n)
+	for len(out) < n {
+		var a int64
+		if theta > 0 && rng.Float64() < theta {
+			a = rng.Int63n(hot)
+		} else {
+			a = rng.Int63n(accounts)
+		}
+		dup := false
+		for _, b := range out {
+			if b == a {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// tracedSnapshotGet is the auditor's read: txn.GetAt's resolve loop, but with
+// every store round trip traced so the run can prove snapshot reads never
+// wait on a lock (the summed CompLock component must stay zero — readers
+// resolve through the primary or read past, they do not block).
+func tracedSnapshotGet(c env.Ctx, st *core.Store, tracer *trace.Tracer, key []byte, ts uint64, bo *mvcc.Backoff) ([]byte, bool, error) {
+	var skip uint64
+	for attempt := 0; attempt < 64; attempt++ {
+		tc := tracer.Begin(int(kv.OpTxnGet), c.Now())
+		res := st.Do(c, &kv.Request{Op: kv.OpTxnGet, Key: key, TS: ts, TS2: skip, Trace: tc})
+		tracer.Finish(tc, c.Now())
+		switch res.Txn {
+		case kv.TxnLocked:
+			primary := append([]byte(nil), res.Value...)
+			lockTS := res.TxnTS
+			stt := st.Do(c, &kv.Request{Op: kv.OpTxnResolve, Key: primary, TS: lockTS, TS2: ts})
+			switch stt.Txn {
+			case kv.TxnPending:
+				skip = lockTS
+			case kv.TxnCommitted:
+				st.Do(c, &kv.Request{Op: kv.OpTxnCommit, Key: key, TS: lockTS, TS2: stt.TxnTS})
+				skip = 0
+			case kv.TxnAborted:
+				st.Do(c, &kv.Request{Op: kv.OpTxnRollback, Key: key, TS: lockTS})
+				skip = 0
+			default:
+				c.Sleep(bo.Next())
+				skip = 0
+			}
+		case kv.TxnRetry:
+			c.Sleep(bo.Next())
+		default:
+			return res.Value, res.Found, nil
+		}
+	}
+	return nil, false, fmt.Errorf("txnbank: audit read of %q exhausted its resolve budget", key)
+}
+
+// TxnBankSpec describes one single-node bank run: Movers procs each commit
+// Transfers multi-account transfers through the percolator client while an
+// auditor proc repeatedly sums every balance at a fresh snapshot.
+type TxnBankSpec struct {
+	Seed     int64
+	Accounts int64
+	Initial  int64
+	Movers   int
+	// Transfers is the closed-loop transfer count per mover.
+	Transfers int
+	// TxnSize is the number of accounts per transfer (>= 2); the first
+	// account pays TxnSize-1 shares, the rest receive one each.
+	TxnSize int
+	// Theta is the hot-set draw probability (see pickTxnKeys).
+	Theta float64
+	// Audits is how many mid-run snapshot audits the auditor performs (a
+	// final audit after the movers drain always runs).
+	Audits   int
+	AuditGap env.Time
+	Workers  int
+	NDisks   int
+	Cores    int
+	// SkipGC disables the post-drain GC pass (crash-style runs keep every
+	// version as evidence).
+	SkipGC bool
+}
+
+func (ts *TxnBankSpec) defaults() {
+	if ts.Accounts == 0 {
+		ts.Accounts = 256
+	}
+	if ts.Initial == 0 {
+		ts.Initial = 1_000
+	}
+	if ts.Movers == 0 {
+		ts.Movers = 4
+	}
+	if ts.Transfers == 0 {
+		ts.Transfers = 50
+	}
+	if ts.TxnSize == 0 {
+		ts.TxnSize = 2
+	}
+	if ts.Audits == 0 {
+		ts.Audits = 4
+	}
+	if ts.AuditGap == 0 {
+		ts.AuditGap = 2 * env.Millisecond
+	}
+	if ts.Workers == 0 {
+		ts.Workers = 4
+	}
+	if ts.NDisks == 0 {
+		ts.NDisks = 2
+	}
+	if ts.Cores == 0 {
+		ts.Cores = 4
+	}
+}
+
+// TxnBankResult is one bank run's outcome. Digest fingerprints the whole
+// observable schedule (commits, conflicts, every audit's snapshot and sum,
+// final balances); equal specs must produce equal digests.
+type TxnBankResult struct {
+	Accounts  int64
+	Committed int64
+	Conflicts int64 // write-write conflict retries across all movers
+	Aborts    int64 // transfers that exhausted their retry budget
+	Audits    int64
+	// ReadLockWait is the summed CompLock over every audited snapshot read;
+	// the run fails unless it is zero (SI readers never block on writers).
+	ReadLockWait env.Time
+	GCFreed      int64
+	PendingAfter int
+	Digest       uint64
+}
+
+// RunTxnBank executes one bank run. The returned error is a verification
+// failure (conservation violated at some snapshot, ledger mismatch, lock
+// leak, reader lock-wait); harness problems panic.
+func RunTxnBank(spec TxnBankSpec) (TxnBankResult, error) {
+	spec.defaults()
+	res := TxnBankResult{Accounts: spec.Accounts}
+	total := spec.Accounts * spec.Initial
+
+	s := sim.New(spec.Seed + 1)
+	e := sim.NewEnv(s, spec.Cores)
+	prof := device.AmazonNVMe()
+	disks := make([]device.Disk, spec.NDisks)
+	for i := range disks {
+		disks[i] = device.NewSimDisk(s, prof, device.NewMemStore())
+	}
+	cfg := core.DefaultConfig(disks...)
+	cfg.Workers = spec.Workers
+	cfg.MVCC = true
+	st, err := core.Open(e, cfg)
+	if err != nil {
+		panic(err)
+	}
+	items := make([]kv.Item, spec.Accounts)
+	for i := int64(0); i < spec.Accounts; i++ {
+		items[i] = kv.Item{Key: kv.Key(i), Value: encBal(spec.Initial, 0)}
+	}
+	if err := st.BulkLoad(items); err != nil {
+		panic(err)
+	}
+	st.Start()
+
+	tracer := trace.NewTracer(0)
+	ledger := make([]int64, spec.Accounts) // committed deltas, by account
+	finals := make([]int64, spec.Accounts)
+	var audits []uint64 // (ts, sum) pairs, in audit order
+	var failures []string
+	fail := func(format string, args ...any) {
+		if len(failures) < 8 {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+	}
+
+	mu := e.NewMutex()
+	cond := e.NewCond(mu)
+	finished := 0
+
+	for ci := 0; ci < spec.Movers; ci++ {
+		ci := ci
+		e.Go(fmt.Sprintf("txn-mover-%d", ci), func(c env.Ctx) {
+			// Seeded from the spec: the transfer schedule is part of the
+			// reproducible transactional schedule.
+			rng := rand.New(rand.NewSource(spec.Seed*7919 + int64(ci)))
+			mgr := &txn.Manager{Cl: &txn.LocalClient{St: st}, MaxAttempts: 64}
+			deltas := make([]int64, spec.TxnSize)
+			bals := make([]int64, spec.TxnSize)
+			for t := 0; t < spec.Transfers; t++ {
+				accs := pickTxnKeys(rng, spec.Accounts, spec.TxnSize, spec.Theta)
+				keys := make([][]byte, len(accs))
+				for i, a := range accs {
+					keys[i] = kv.Key(a)
+				}
+				amt := 1 + rng.Int63n(7)
+				fn := func(c env.Ctx, tx *txn.Txn) error {
+					for i := range accs {
+						v, ok, err := tx.Get(c, keys[i])
+						if err != nil {
+							return err
+						}
+						if !ok {
+							return fmt.Errorf("txnbank: account %d missing", accs[i])
+						}
+						bals[i] = decBal(v)
+					}
+					for i := range accs {
+						if i == 0 {
+							deltas[i] = -amt * int64(len(accs)-1)
+						} else {
+							deltas[i] = amt
+						}
+						tx.Put(keys[i], encBal(bals[i]+deltas[i], tx.StartTS()))
+					}
+					return nil
+				}
+				seed := spec.Seed*104_729 + int64(ci)*1_000_003 + int64(t)
+				if _, err := mgr.Run(c, seed, fn); err != nil {
+					if err == txn.ErrConflict {
+						continue // retry budget exhausted; counted in mgr.Aborts
+					}
+					fail("mover %d transfer %d: %v", ci, t, err)
+					continue
+				}
+				res.Committed++
+				for i, a := range accs {
+					ledger[a] += deltas[i]
+				}
+			}
+			res.Conflicts += mgr.Conflicts
+			res.Aborts += mgr.Aborts
+			mu.Lock(c)
+			finished++
+			mu.Unlock(c)
+			cond.Signal(c)
+		})
+	}
+
+	audit := func(c env.Ctx, final bool) {
+		ts := st.SnapshotTS()
+		bo := mvcc.NewBackoff(spec.Seed^int64(ts), 2*env.Microsecond, 256*env.Microsecond)
+		var sum int64
+		for a := int64(0); a < spec.Accounts; a++ {
+			v, ok, err := tracedSnapshotGet(c, st, tracer, kv.Key(a), ts, bo)
+			if err != nil {
+				fail("%v", err)
+				return
+			}
+			if !ok {
+				fail("audit@%d: account %d missing", ts, a)
+				return
+			}
+			bal := decBal(v)
+			if final {
+				finals[a] = bal
+			}
+			sum += bal
+		}
+		if sum != total {
+			fail("audit@%d: conservation violated: sum=%d want %d", ts, sum, total)
+		}
+		audits = append(audits, ts, uint64(sum))
+		res.Audits++
+	}
+
+	e.Go("txn-auditor", func(c env.Ctx) {
+		for i := 0; i < spec.Audits; i++ {
+			c.Sleep(spec.AuditGap)
+			audit(c, false)
+		}
+		mu.Lock(c)
+		for finished < spec.Movers {
+			cond.Wait(c)
+		}
+		mu.Unlock(c)
+		if !spec.SkipGC {
+			res.GCFreed = int64(st.GC(c, st.SnapshotTS()))
+		}
+		audit(c, true)
+		for a := int64(0); a < spec.Accounts; a++ {
+			if want := spec.Initial + ledger[a]; finals[a] != want {
+				fail("account %d: final balance %d, committed ledger says %d", a, finals[a], want)
+			}
+		}
+		res.PendingAfter = st.PendingLocks()
+		if res.PendingAfter != 0 {
+			fail("%d locks still pending after all movers drained", res.PendingAfter)
+		}
+		st.Stop(c)
+	})
+
+	if err := s.Run(-1); err != nil {
+		panic(err)
+	}
+	res.ReadLockWait = env.Time(tracer.Breakdown().Sum(trace.CompLock))
+	if res.ReadLockWait != 0 {
+		fail("snapshot reads waited %s on locks; SI readers must never block", stats.FmtDur(res.ReadLockWait))
+	}
+	if err := st.CheckMVCC(); err != nil {
+		fail("post-run MVCC audit: %v", err)
+	}
+	if err := st.CheckConsistency(); err != nil {
+		fail("post-run consistency: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		panic(err)
+	}
+
+	h := fnv.New64a()
+	var b [8]byte
+	word := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	word(uint64(spec.Accounts))
+	word(uint64(res.Committed))
+	word(uint64(res.Conflicts))
+	word(uint64(res.Aborts))
+	word(uint64(res.Audits))
+	word(uint64(res.GCFreed))
+	word(uint64(res.ReadLockWait))
+	for _, v := range audits {
+		word(v)
+	}
+	for _, v := range finals {
+		word(uint64(v))
+	}
+	res.Digest = h.Sum64()
+
+	if len(failures) > 0 {
+		return res, fmt.Errorf("txnbank seed=%d theta=%.2f size=%d: %d failures, first: %s",
+			spec.Seed, spec.Theta, spec.TxnSize, len(failures), failures[0])
+	}
+	return res, nil
+}
+
+// ackedTxn is one acknowledged transfer: its commit timestamp, the accounts
+// it touched, and the exact bytes it left behind. The crash and failover
+// verifiers re-read every key of every acked transaction at its commit
+// timestamp — all present, or the transaction was visible half-applied.
+type ackedTxn struct {
+	cts  uint64
+	keys [][]byte
+	vals [][]byte
+}
+
+// TxnCrashSpec describes one transactional crash–recover–verify run: movers
+// run open-ended transfers on fault-wrapped disks until the machine dies at
+// the AtWrite-th device write, then the store is recovered from the
+// power-loss images, crash settlement resolves leftover intents, and
+// conservation plus every acked transaction's visibility are checked.
+type TxnCrashSpec struct {
+	Seed     int64
+	Accounts int64
+	Initial  int64
+	Movers   int
+	TxnSize  int
+	Theta    float64
+	// AtWrite kills the machine when the Nth timed device write is submitted.
+	AtWrite int64
+	Workers int
+	NDisks  int
+	Cores   int
+}
+
+func (ts *TxnCrashSpec) defaults() {
+	if ts.Accounts == 0 {
+		ts.Accounts = 128
+	}
+	if ts.Initial == 0 {
+		ts.Initial = 1_000
+	}
+	if ts.Movers == 0 {
+		ts.Movers = 4
+	}
+	if ts.TxnSize == 0 {
+		ts.TxnSize = 3
+	}
+	if ts.AtWrite == 0 {
+		ts.AtWrite = 1_000
+	}
+	if ts.Workers == 0 {
+		ts.Workers = 4
+	}
+	if ts.NDisks == 0 {
+		ts.NDisks = 2
+	}
+	if ts.Cores == 0 {
+		ts.Cores = 4
+	}
+}
+
+// TxnCrashResult is one transactional crash run's outcome.
+type TxnCrashResult struct {
+	Seed      int64
+	AtWrite   int64
+	CrashTime env.Time
+	Fault     fault.Stats
+	// IssuedTxns/AckedTxns count transfers started / acknowledged before the
+	// crash. Transactions past their commit point but not yet acknowledged
+	// fall in between; conservation covers them either way.
+	IssuedTxns int64
+	AckedTxns  int64
+	Conflicts  int64
+	// Resolved is how many leftover intents crash settlement rolled forward
+	// or back during recovery.
+	Resolved    int
+	RecoverTime env.Time
+	Digest      uint64
+}
+
+// RunTxnCrash executes one transactional crash cycle. The returned error is
+// a verification failure: conservation violated after recovery, an acked
+// transaction half-applied, or a lock surviving settlement.
+func RunTxnCrash(spec TxnCrashSpec) (TxnCrashResult, error) {
+	spec.defaults()
+	res := TxnCrashResult{Seed: spec.Seed, AtWrite: spec.AtWrite}
+	total := spec.Accounts * spec.Initial
+	prof := device.AmazonNVMe()
+
+	// Phase 1: transfers on fault-wrapped disks until the power cut. The
+	// simulation freezes at the crash instant, so the recorded acked set is
+	// exactly the pre-crash acknowledgements.
+	s1 := sim.New(spec.Seed + 1)
+	e1 := sim.NewEnv(s1, spec.Cores)
+	inj := fault.NewInjector(s1, fault.Config{
+		Seed:    spec.Seed*1_000_003 + spec.AtWrite,
+		AtWrite: spec.AtWrite,
+	})
+	disks := make([]device.Disk, spec.NDisks)
+	for i := range disks {
+		disks[i] = inj.Wrap(device.NewSimDisk(s1, prof, device.NewMemStore()))
+	}
+	cfg := core.DefaultConfig(disks...)
+	cfg.Workers = spec.Workers
+	cfg.MVCC = true
+	st, err := core.Open(e1, cfg)
+	if err != nil {
+		panic(err)
+	}
+	items := make([]kv.Item, spec.Accounts)
+	for i := int64(0); i < spec.Accounts; i++ {
+		items[i] = kv.Item{Key: kv.Key(i), Value: encBal(spec.Initial, 0)}
+	}
+	if err := st.BulkLoad(items); err != nil {
+		panic(err)
+	}
+	st.Start()
+	inj.Arm()
+
+	acked := make([][]ackedTxn, spec.Movers)
+	mgrs := make([]*txn.Manager, spec.Movers)
+	const horizon = 20 * env.Second
+	for ci := 0; ci < spec.Movers; ci++ {
+		ci := ci
+		mgrs[ci] = &txn.Manager{Cl: &txn.LocalClient{St: st}, MaxAttempts: 64}
+		e1.Go(fmt.Sprintf("txn-crash-mover-%d", ci), func(c env.Ctx) {
+			rng := rand.New(rand.NewSource(spec.Seed*7919 + int64(ci)))
+			mgr := mgrs[ci]
+			bals := make([]int64, spec.TxnSize)
+			for t := 0; c.Now() < horizon; t++ {
+				accs := pickTxnKeys(rng, spec.Accounts, spec.TxnSize, spec.Theta)
+				keys := make([][]byte, len(accs))
+				for i, a := range accs {
+					keys[i] = kv.Key(a)
+				}
+				amt := 1 + rng.Int63n(7)
+				vals := make([][]byte, len(accs))
+				fn := func(c env.Ctx, tx *txn.Txn) error {
+					for i := range accs {
+						v, ok, err := tx.Get(c, keys[i])
+						if err != nil {
+							return err
+						}
+						if !ok {
+							return fmt.Errorf("txnbank: account %d missing", accs[i])
+						}
+						bals[i] = decBal(v)
+					}
+					for i := range accs {
+						nb := bals[i] + amt
+						if i == 0 {
+							nb = bals[i] - amt*int64(len(accs)-1)
+						}
+						vals[i] = encBal(nb, tx.StartTS())
+						tx.Put(keys[i], vals[i])
+					}
+					return nil
+				}
+				res.IssuedTxns++
+				seed := spec.Seed*104_729 + int64(ci)*1_000_003 + int64(t)
+				cts, err := mgr.Run(c, seed, fn)
+				if err != nil {
+					continue // conflict exhaustion; the crash freeze also lands here
+				}
+				res.AckedTxns++
+				acked[ci] = append(acked[ci], ackedTxn{cts: cts, keys: keys, vals: vals})
+			}
+		})
+	}
+	if err := s1.Run(horizon + env.Second); err != nil {
+		panic(err)
+	}
+	for _, m := range mgrs {
+		res.Conflicts += m.Conflicts
+	}
+	if !inj.Tripped() {
+		s1.Close()
+		return res, fmt.Errorf("txnbank: crash point %d never reached (only %d writes submitted)",
+			spec.AtWrite, inj.Stats().Writes)
+	}
+	res.CrashTime = inj.CrashTime()
+	res.Fault = inj.Stats()
+	snaps := inj.Snapshots()
+	if err := s1.Close(); err != nil {
+		panic(err)
+	}
+
+	// Phase 2: reboot on the snapshot images, recover, settle leftover
+	// intents, and verify. No GC runs, so every acked transaction's versions
+	// are still on disk as evidence.
+	s2 := sim.New(spec.Seed + 2)
+	e2 := sim.NewEnv(s2, spec.Cores)
+	disks2 := make([]device.Disk, len(snaps))
+	for i, ms := range snaps {
+		disks2[i] = device.NewSimDisk(s2, prof, ms)
+	}
+	cfg2 := core.DefaultConfig(disks2...)
+	cfg2.Workers = spec.Workers
+	cfg2.MVCC = true
+	st2, err := core.Open(e2, cfg2)
+	if err != nil {
+		panic(err)
+	}
+	finals := make([]int64, spec.Accounts)
+	var failures []string
+	fail := func(format string, args ...any) {
+		if len(failures) < 8 {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+	}
+	e2.Go("txn-crash-recover", func(c env.Ctx) {
+		t0 := c.Now()
+		if err := st2.Recover(c); err != nil {
+			fail("recover: %v", err)
+			return
+		}
+		st2.Start()
+		res.Resolved = st2.ResolveIntents(c)
+		res.RecoverTime = c.Now() - t0
+		if n := st2.PendingLocks(); n != 0 {
+			fail("%d locks survived crash settlement", n)
+		}
+		ts := st2.SnapshotTS()
+		var sum int64
+		for a := int64(0); a < spec.Accounts; a++ {
+			v, ok := st2.GetAt(c, kv.Key(a), ts)
+			if !ok {
+				fail("account %d lost in crash", a)
+				continue
+			}
+			finals[a] = decBal(v)
+			sum += finals[a]
+		}
+		if sum != total {
+			fail("conservation violated after crash: sum=%d want %d (crash@%s)",
+				sum, total, stats.FmtDur(res.CrashTime))
+		}
+		// Every acknowledged transaction must be fully visible at its commit
+		// timestamp: reading each of its keys at cts must return exactly the
+		// bytes it wrote (commit timestamps are unique, so the version at cts
+		// is that transaction's or the check fails).
+		for ci := range acked {
+			for ti, at := range acked[ci] {
+				for i, k := range at.keys {
+					v, ok := st2.GetAt(c, k, at.cts)
+					if !ok || !bytes.Equal(v, at.vals[i]) {
+						fail("acked txn half-applied: mover %d txn %d cts=%d key %q (found=%v)",
+							ci, ti, at.cts, k, ok)
+					}
+				}
+			}
+		}
+		if err := st2.CheckConsistency(); err != nil {
+			fail("post-recovery consistency: %v", err)
+		}
+		st2.Stop(c)
+	})
+	if err := s2.Run(-1); err != nil {
+		panic(err)
+	}
+	if err := st2.CheckMVCC(); err != nil {
+		fail("post-recovery MVCC audit: %v", err)
+	}
+	if err := s2.Close(); err != nil {
+		panic(err)
+	}
+
+	h := fnv.New64a()
+	var b [8]byte
+	word := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	word(uint64(res.CrashTime))
+	word(uint64(res.Fault.Writes))
+	word(uint64(res.Fault.InFlight))
+	word(uint64(res.Fault.Dropped))
+	word(uint64(res.Fault.Torn))
+	word(uint64(res.IssuedTxns))
+	word(uint64(res.AckedTxns))
+	word(uint64(res.Resolved))
+	word(uint64(res.RecoverTime))
+	for ci := range acked {
+		for _, at := range acked[ci] {
+			word(at.cts)
+		}
+	}
+	for _, v := range finals {
+		word(uint64(v))
+	}
+	res.Digest = h.Sum64()
+
+	if len(failures) > 0 {
+		return res, fmt.Errorf("txnbank crash seed=%d atwrite=%d: %d failures, first: %s",
+			spec.Seed, spec.AtWrite, len(failures), failures[0])
+	}
+	return res, nil
+}
+
+// TxnCrashSweep crashes the transactional store at Points seeded write
+// indices (the same derivation as CrashSweep) and verifies conservation and
+// acked-transaction visibility after each. Returns the number of failing
+// points; every failure prints the flags that reproduce it.
+func TxnCrashSweep(o SweepOpts, w io.Writer) int {
+	if o.Points == 0 {
+		o.Points = 25
+	}
+	failures := 0
+	for i := 1; i <= o.Points; i++ {
+		if o.Point > 0 && i != o.Point {
+			continue
+		}
+		pointSeed, atWrite := SweepPoint(o.Seed, i)
+		res, err := RunTxnCrash(TxnCrashSpec{Seed: pointSeed, AtWrite: atWrite})
+		if err != nil {
+			failures++
+			fmt.Fprintf(w, "FAIL txnbank point %2d/%d: %v\n", i, o.Points, err)
+			fmt.Fprintf(w, "     repro: go run ./cmd/kvell-txn -crash -seed=%d -point=%d\n", o.Seed, i)
+			continue
+		}
+		if o.Verbose {
+			fmt.Fprintf(w, "ok   txnbank point %2d/%d: crash@%s write=%d acked=%d resolved=%d digest=%016x\n",
+				i, o.Points, stats.FmtDur(res.CrashTime), res.AtWrite, res.AckedTxns, res.Resolved, res.Digest)
+		}
+	}
+	return failures
+}
+
+// TxnClusterSpec describes one multi-machine transactional run: Machines
+// server machines (store shards with MVCC on) plus one client machine whose
+// mover procs run percolator transactions across shards, timestamps served
+// by the oracle on machine cluster.OracleHome. With Failover set, machine
+// KillMachine (never the oracle's) dies at KillAt and a follower is promoted
+// through full-scan recovery; conservation and every acked transaction must
+// survive.
+type TxnClusterSpec struct {
+	Machines int
+	RF       int
+	Seed     int64
+	// AccountsPerMachine fixes the per-shard dataset size; accounts hash
+	// across shards, so transactions routinely span machines.
+	AccountsPerMachine int64
+	Initial            int64
+	Movers             int
+	Transfers          int
+	TxnSize            int
+	Theta              float64
+	Workers            int
+	NDisks             int
+	Cores              int
+	Slots              int
+
+	Failover    bool
+	KillMachine int
+	KillAt      env.Time
+	DetectDelay env.Time
+}
+
+func (ts *TxnClusterSpec) defaults() {
+	if ts.Machines == 0 {
+		ts.Machines = 4
+	}
+	if ts.RF == 0 {
+		ts.RF = 1
+	}
+	if ts.AccountsPerMachine == 0 {
+		ts.AccountsPerMachine = 64
+	}
+	if ts.Initial == 0 {
+		ts.Initial = 1_000
+	}
+	if ts.Movers == 0 {
+		ts.Movers = 4
+	}
+	if ts.Transfers == 0 {
+		ts.Transfers = 25
+	}
+	if ts.TxnSize == 0 {
+		ts.TxnSize = 2
+	}
+	if ts.Workers == 0 {
+		ts.Workers = 4
+	}
+	if ts.NDisks == 0 {
+		ts.NDisks = 1
+	}
+	if ts.Cores == 0 {
+		ts.Cores = 5
+	}
+	if ts.Slots == 0 {
+		ts.Slots = 4096
+	}
+	if ts.KillMachine == 0 {
+		// Never the oracle's machine: timestamp service is pinned there.
+		ts.KillMachine = 1
+	}
+	if ts.KillAt == 0 {
+		ts.KillAt = 3 * env.Millisecond
+	}
+	if ts.DetectDelay == 0 {
+		ts.DetectDelay = 200 * env.Microsecond
+	}
+}
+
+// TxnClusterResult is one cluster transaction run's outcome.
+type TxnClusterResult struct {
+	Machines int
+	RF       int
+
+	Committed  int64
+	Conflicts  int64
+	Aborts     int64
+	FailedTxns int64 // transfers aborted by the machine kill (un-acked)
+	Swept      int64 // in-flight calls failed by the failover sweep
+
+	AckedVerified int // acked-transaction keys re-read and matched
+	Promoted      int
+	CrashTime     env.Time
+	Net           net.Counters
+	PagesShipped  int64
+	Digest        uint64
+}
+
+// RunTxnCluster executes one cluster transaction run. The returned error is
+// a verification failure (conservation violated across shards, acked
+// transaction half-applied after failover, promotion failure).
+func RunTxnCluster(spec TxnClusterSpec) (TxnClusterResult, error) {
+	spec.defaults()
+	M := spec.Machines
+	clientM := M
+	total := int64(M) * spec.AccountsPerMachine
+	grand := total * spec.Initial
+	prof := device.AmazonNVMe()
+	res := TxnClusterResult{Machines: M, RF: spec.RF, Promoted: -1}
+	if spec.Failover && spec.KillMachine == cluster.OracleHome {
+		panic("txnbank: cannot kill the oracle's machine")
+	}
+
+	s := sim.New(spec.Seed + 1)
+	nw := net.New(s, M+1, net.TenGbE())
+	place := cluster.NewPlacement(spec.Slots, M, spec.RF)
+	cl := cluster.New(s, nw, place)
+
+	envs := make([]*sim.Env, M+1)
+	for m := 0; m < M; m++ {
+		envs[m] = sim.NewMachineEnv(s, m, spec.Cores)
+	}
+	envs[clientM] = sim.NewMachineEnv(s, clientM, max(2, M))
+
+	var inj *fault.Injector
+	baseStores := make([][]*device.MemStore, M)
+	stores := make([]*core.Store, M)
+	cfgs := make([]core.Config, M)
+	rps := make([]*cluster.Replicator, M)
+	repsByHome := make([][]*cluster.Replica, M)
+	for m := 0; m < M; m++ {
+		var rp *cluster.Replicator
+		if spec.RF > 1 {
+			rp = cluster.NewReplicator(cl, m)
+			rps[m] = rp
+		}
+		disks := make([]device.Disk, spec.NDisks)
+		for i := 0; i < spec.NDisks; i++ {
+			ms := device.NewMemStore()
+			baseStores[m] = append(baseStores[m], ms)
+			sd := device.NewSimDisk(s, prof, ms)
+			sd.Machine = m
+			sd.ID = m*spec.NDisks + i
+			var d device.Disk = sd
+			if spec.Failover && m == spec.KillMachine {
+				if inj == nil {
+					inj = fault.NewInjector(s, fault.Config{
+						Seed:        spec.Seed*1_000_003 + int64(m+1),
+						AtTime:      spec.KillAt,
+						HaltMachine: true,
+						Machine:     m,
+					})
+				}
+				d = inj.Wrap(sd)
+			}
+			if rp != nil {
+				d = rp.WrapDisk(i, d)
+			}
+			disks[i] = d
+		}
+		cfg := core.DefaultConfig(disks...)
+		cfg.Workers = spec.Workers
+		cfg.MVCC = true
+		cfg.NoInPlaceUpdates = spec.RF > 1
+		if rp != nil {
+			cfg.OnIndexUpdate = rp.OnIndexUpdate
+		}
+		st, err := core.Open(envs[m], cfg)
+		if err != nil {
+			panic(err)
+		}
+		stores[m] = st
+		cfgs[m] = cfg
+	}
+
+	perMachine := make([][]kv.Item, M)
+	keyBuf := make([]byte, kv.KeyLen)
+	for i := int64(0); i < total; i++ {
+		kv.FillKey(keyBuf, i)
+		m := place.Leader(place.SlotOf(keyBuf))
+		perMachine[m] = append(perMachine[m], kv.Item{Key: kv.Key(i), Value: encBal(spec.Initial, 0)})
+	}
+	for m := 0; m < M; m++ {
+		if err := stores[m].BulkLoad(perMachine[m]); err != nil {
+			panic(err)
+		}
+	}
+	if spec.RF > 1 {
+		for m := 0; m < M; m++ {
+			for _, f := range place.Followers(m) {
+				rdisks := make([]*device.SimDisk, spec.NDisks)
+				for i, ms := range baseStores[m] {
+					rd := device.NewSimDisk(s, prof, ms.Snapshot())
+					rd.Machine = f
+					rd.ID = 1000 + m*spec.NDisks + i
+					rdisks[i] = rd
+				}
+				rep := cluster.NewReplica(cl, envs[f], m, rdisks)
+				rps[m].AddFollower(rep)
+				repsByHome[m] = append(repsByHome[m], rep)
+				rep.Start()
+			}
+			rps[m].Activate()
+		}
+	}
+	for m := 0; m < M; m++ {
+		n := cluster.NewNode(cl, envs[m], m, stores[m], rps[m])
+		cl.SetNode(m, n)
+		n.Start()
+		stores[m].Start()
+	}
+	if inj != nil {
+		inj.Arm()
+	}
+
+	ledger := make([]int64, total)
+	acked := make([][]ackedTxn, spec.Movers)
+	tcs := make([]*cluster.TxnClient, spec.Movers)
+	for ci := range tcs {
+		tcs[ci] = cluster.NewTxnClient(cl, envs[clientM], clientM)
+	}
+	var failures []string
+	fail := func(format string, args ...any) {
+		if len(failures) < 8 {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+	}
+	mu := envs[clientM].NewMutex()
+	cond := envs[clientM].NewCond(mu)
+	finished := 0
+
+	for ci := 0; ci < spec.Movers; ci++ {
+		ci := ci
+		envs[clientM].Go(fmt.Sprintf("txn-cluster-mover-%d", ci), func(c env.Ctx) {
+			rng := rand.New(rand.NewSource(spec.Seed*7919 + int64(ci)))
+			mgr := &txn.Manager{Cl: tcs[ci], MaxAttempts: 64}
+			bals := make([]int64, spec.TxnSize)
+			deltas := make([]int64, spec.TxnSize)
+			for t := 0; t < spec.Transfers; t++ {
+				accs := pickTxnKeys(rng, total, spec.TxnSize, spec.Theta)
+				keys := make([][]byte, len(accs))
+				for i, a := range accs {
+					keys[i] = kv.Key(a)
+				}
+				amt := 1 + rng.Int63n(7)
+				vals := make([][]byte, len(accs))
+				fn := func(c env.Ctx, tx *txn.Txn) error {
+					for i := range accs {
+						v, ok, err := tx.Get(c, keys[i])
+						if err != nil {
+							return err
+						}
+						if !ok {
+							return fmt.Errorf("txnbank: account %d missing", accs[i])
+						}
+						bals[i] = decBal(v)
+					}
+					for i := range accs {
+						if i == 0 {
+							deltas[i] = -amt * int64(len(accs)-1)
+						} else {
+							deltas[i] = amt
+						}
+						vals[i] = encBal(bals[i]+deltas[i], tx.StartTS())
+						tx.Put(keys[i], vals[i])
+					}
+					return nil
+				}
+				seed := spec.Seed*104_729 + int64(ci)*1_000_003 + int64(t)
+				cts, err := mgr.Run(c, seed, fn)
+				if err != nil {
+					if err == txn.ErrAborted && spec.Failover {
+						// The kill swept this transfer mid-commit; its primary
+						// never became durable, so it rolled back cleanly.
+						res.FailedTxns++
+						continue
+					}
+					if err == txn.ErrConflict {
+						continue // retry budget exhausted; counted in mgr.Aborts
+					}
+					fail("mover %d transfer %d: %v", ci, t, err)
+					continue
+				}
+				res.Committed++
+				for i, a := range accs {
+					ledger[a] += deltas[i]
+				}
+				acked[ci] = append(acked[ci], ackedTxn{cts: cts, keys: keys, vals: vals})
+			}
+			res.Conflicts += mgr.Conflicts
+			res.Aborts += mgr.Aborts
+			mu.Lock(c)
+			finished++
+			mu.Unlock(c)
+			cond.Signal(c)
+		})
+	}
+
+	// Failover driver: wait out detection, re-point routing, promote the
+	// replica with the dead store's own (MVCC) config so the promoted store
+	// rebuilds version chains and locks, then sweep every mover's in-flight
+	// call to the dead machine (they complete with TxnRetry and re-send under
+	// the new epoch).
+	if spec.Failover {
+		dead := spec.KillMachine
+		followers := place.Followers(dead)
+		prng := rand.New(rand.NewSource(spec.Seed*104_729 + int64(dead+1)))
+		pick := followers[prng.Intn(len(followers))]
+		var rep *cluster.Replica
+		for _, r := range repsByHome[dead] {
+			if r.Host() == pick {
+				rep = r
+			}
+		}
+		res.Promoted = pick
+		envs[pick].Go("txn-failover-driver", func(c env.Ctx) {
+			c.Sleep(spec.KillAt + spec.DetectDelay - c.Now())
+			if !inj.Tripped() {
+				fail("machine %d never died", dead)
+				return
+			}
+			cl.FailMachine(dead)
+			st2, err := rep.Promote(c, cfgs[dead])
+			if err != nil {
+				fail("promotion failed: %v", err)
+				return
+			}
+			st2.Start()
+			n2 := cluster.NewNode(cl, envs[pick], dead, st2, nil)
+			n2.Start()
+			cl.SetNode(dead, n2)
+			stores[dead] = st2
+			for _, tc := range tcs {
+				tc.SweepIf(c, dead)
+			}
+		})
+	}
+
+	// Verifier: after the movers drain, audit conservation across all shards
+	// at a fresh snapshot and re-read every key of every acked transaction at
+	// its commit timestamp through the (possibly re-routed) cluster.
+	allDone := false
+	envs[clientM].Go("txn-cluster-verify", func(c env.Ctx) {
+		mu.Lock(c)
+		for finished < spec.Movers {
+			cond.Wait(c)
+		}
+		mu.Unlock(c)
+		vtc := cluster.NewTxnClient(cl, envs[clientM], clientM)
+		ts := vtc.SnapshotTS(c)
+		var sum int64
+		finals := make([]int64, total)
+		for a := int64(0); a < total; a++ {
+			v, ok, err := txn.GetAt(c, vtc, kv.Key(a), ts, spec.Seed)
+			if err != nil {
+				fail("verify read of account %d: %v", a, err)
+				continue
+			}
+			if !ok {
+				fail("account %d lost", a)
+				continue
+			}
+			finals[a] = decBal(v)
+			sum += finals[a]
+		}
+		if sum != grand {
+			fail("conservation violated across cluster: sum=%d want %d", sum, grand)
+		}
+		if !spec.Failover {
+			// Without a kill every commit was acknowledged, so the committed
+			// ledger predicts every balance exactly.
+			for a := int64(0); a < total; a++ {
+				if want := spec.Initial + ledger[a]; finals[a] != want {
+					fail("account %d: balance %d, committed ledger says %d", a, finals[a], want)
+				}
+			}
+		}
+		for ci := range acked {
+			for ti, at := range acked[ci] {
+				for i, k := range at.keys {
+					v, ok, err := txn.GetAt(c, vtc, k, at.cts, spec.Seed+int64(ti))
+					if err != nil || !ok || !bytes.Equal(v, at.vals[i]) {
+						fail("acked txn half-applied after failover: mover %d txn %d cts=%d key %q",
+							ci, ti, at.cts, k)
+					} else {
+						res.AckedVerified++
+					}
+				}
+			}
+		}
+		allDone = true
+	})
+
+	if err := s.Run(60 * env.Second); err != nil {
+		panic(err)
+	}
+	if !allDone && len(failures) == 0 {
+		panic("txnbank cluster: run did not complete within the time bound")
+	}
+	if inj != nil && inj.Tripped() {
+		res.CrashTime = inj.CrashTime()
+	}
+	res.Net = nw.Counters()
+	for _, rp := range rps {
+		if rp != nil {
+			res.PagesShipped += rp.PagesShipped
+		}
+	}
+	for _, tc := range tcs {
+		res.Swept += tc.Swept
+	}
+	for m := 0; m < M; m++ {
+		if spec.Failover && m == spec.KillMachine {
+			continue // frozen at the crash instant; the promoted store replaced it
+		}
+		if err := stores[m].CheckMVCC(); err != nil {
+			fail("machine %d MVCC audit: %v", m, err)
+		}
+	}
+	if spec.Failover && res.Promoted >= 0 {
+		if err := stores[spec.KillMachine].CheckMVCC(); err != nil {
+			fail("promoted store MVCC audit: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		panic(err)
+	}
+
+	h := fnv.New64a()
+	var b [8]byte
+	word := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	word(uint64(M))
+	word(uint64(spec.RF))
+	word(uint64(res.Committed))
+	word(uint64(res.Conflicts))
+	word(uint64(res.Aborts))
+	word(uint64(res.FailedTxns))
+	word(uint64(res.Swept))
+	word(uint64(res.AckedVerified))
+	word(uint64(res.Promoted + 1))
+	word(uint64(res.CrashTime))
+	word(uint64(res.Net.Msgs))
+	word(uint64(res.Net.Bytes))
+	word(uint64(res.PagesShipped))
+	for ci := range acked {
+		for _, at := range acked[ci] {
+			word(at.cts)
+		}
+	}
+	for _, v := range ledger {
+		word(uint64(v))
+	}
+	res.Digest = h.Sum64()
+
+	if len(failures) > 0 {
+		return res, fmt.Errorf("txnbank cluster seed=%d machines=%d rf=%d failover=%v: %d failures, first: %s",
+			spec.Seed, M, spec.RF, spec.Failover, len(failures), failures[0])
+	}
+	return res, nil
+}
+
+// txnExp is the deliverable experiment: transactional throughput and
+// conflict behaviour across a conflict-rate (theta) × transaction-size
+// sweep, each point verified for conservation at every audit snapshot, then
+// a cross-shard cluster run with a mid-workload machine kill proving no
+// acknowledged transaction is ever half-applied.
+func txnExp(o Options, w io.Writer) {
+	thetas := []float64{0, 0.5, 0.9}
+	sizes := []int{2, 4, 8}
+	transfers := 50
+	if o.Quick {
+		transfers = 25
+		sizes = []int{2, 4}
+	}
+
+	fmt.Fprintf(w, "\nTxnbank: %d movers, %d transfers each, conservation audited at every snapshot:\n\n",
+		4, transfers)
+	fmt.Fprintf(w, "%-8s %-6s %10s %10s %10s %12s %12s\n",
+		"theta", "size", "committed", "conflicts", "aborts", "gc-freed", "digest")
+	for _, th := range thetas {
+		for _, sz := range sizes {
+			res, err := RunTxnBank(TxnBankSpec{
+				Seed:      o.Seed,
+				Theta:     th,
+				TxnSize:   sz,
+				Transfers: transfers,
+			})
+			if err != nil {
+				fmt.Fprintf(w, "%-8.2f %-6d FAILED: %v\n", th, sz, err)
+				continue
+			}
+			fmt.Fprintf(w, "%-8.2f %-6d %10d %10d %10d %12d %12x\n",
+				th, sz, res.Committed, res.Conflicts, res.Aborts, res.GCFreed, res.Digest)
+		}
+	}
+
+	fm, rf := 4, 2
+	fres, err := RunTxnCluster(TxnClusterSpec{
+		Machines:    fm,
+		RF:          rf,
+		Seed:        o.Seed,
+		Theta:       0.3,
+		Failover:    true,
+		KillMachine: 1,
+	})
+	fmt.Fprintf(w, "\nCluster transactions: %d machines, RF=%d, kill machine %d at %s (promoted: machine %d)\n",
+		fm, rf, 1, stats.FmtDur(fres.CrashTime), fres.Promoted)
+	fmt.Fprintf(w, "  committed=%d failed=%d swept=%d conflicts=%d acked-keys-verified=%d\n",
+		fres.Committed, fres.FailedTxns, fres.Swept, fres.Conflicts, fres.AckedVerified)
+	if err != nil {
+		fmt.Fprintf(w, "  FAILED: %v\n", err)
+	} else {
+		fmt.Fprintf(w, "  ok: conservation held across the kill; no acked transaction half-applied (digest %016x)\n",
+			fres.Digest)
+	}
+}

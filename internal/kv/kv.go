@@ -12,13 +12,36 @@ import (
 // OpType identifies a client operation.
 type OpType uint8
 
-// Operation types.
+// Operation types. The OpTxn* family is served only by engines with MVCC
+// enabled (internal/core with Config.MVCC); other engines answer them with
+// an empty result.
 const (
 	OpGet OpType = iota
 	OpUpdate
 	OpDelete
 	OpScan
 	OpRMW // read-modify-write (YCSB F)
+
+	// OpTxnGet is a snapshot read at Request.TS; Request.TS2, when nonzero,
+	// names a pending lock (by its start timestamp) the reader has resolved
+	// as still pending and may read past.
+	OpTxnGet
+	// OpTxnPrewrite installs a percolator intent: Key/Value (Del for a
+	// delete intent), TS = start timestamp, Aux = primary lock key.
+	OpTxnPrewrite
+	// OpTxnCommit flips an intent to a committed version: TS = start
+	// timestamp, TS2 = commit timestamp. On the primary key it is the
+	// transaction's atomic commit point.
+	OpTxnCommit
+	// OpTxnResolve queries the primary key's transaction state: TS = start
+	// timestamp, TS2 = the inquiring reader's snapshot (recorded as
+	// MaxReadTS while the transaction is pending; 0 for cleanup probes).
+	OpTxnResolve
+	// OpTxnRollback removes the intent installed at TS (lazy lock cleanup
+	// and write-conflict abort paths).
+	OpTxnRollback
+	// OpTxnGC trims versions no snapshot at or above TS can read.
+	OpTxnGC
 )
 
 // String returns the operation name.
@@ -34,10 +57,44 @@ func (o OpType) String() string {
 		return "scan"
 	case OpRMW:
 		return "rmw"
+	case OpTxnGet:
+		return "txnget"
+	case OpTxnPrewrite:
+		return "prewrite"
+	case OpTxnCommit:
+		return "commit"
+	case OpTxnResolve:
+		return "resolve"
+	case OpTxnRollback:
+		return "rollback"
+	case OpTxnGC:
+		return "txngc"
 	default:
 		return "?"
 	}
 }
+
+// ReadOnly reports whether o never writes engine state that must replicate:
+// such operations skip the cluster replication barrier. OpTxnResolve only
+// raises an in-memory read watermark, so it qualifies.
+func (o OpType) ReadOnly() bool {
+	switch o {
+	case OpGet, OpScan, OpTxnGet, OpTxnResolve:
+		return true
+	}
+	return false
+}
+
+// Transaction status codes carried in Result.Txn.
+const (
+	TxnOK            uint8 = iota
+	TxnLocked              // blocked by another transaction's intent: TxnTS = its start timestamp, Value = its primary key
+	TxnWriteConflict       // a version committed after the writer's snapshot: TxnTS = its commit timestamp
+	TxnRetry               // commit timestamp at or below the primary's MaxReadTS: refetch and retry (TxnTS = the watermark)
+	TxnPending             // resolve: transaction still pending
+	TxnCommitted           // resolve: committed at TxnTS
+	TxnAborted             // resolve/commit: no intent and no committed version — rolled back
+)
 
 // Result is the outcome of a request.
 type Result struct {
@@ -45,6 +102,10 @@ type Result struct {
 	Value []byte
 	// ScanN is the number of items a scan returned.
 	ScanN int
+	// Txn is the transaction status of an OpTxn* operation (TxnOK
+	// otherwise); TxnTS carries the timestamp the status refers to.
+	Txn   uint8
+	TxnTS uint64
 }
 
 // Request is one client operation. Done is invoked exactly once when the
@@ -73,6 +134,14 @@ type Request struct {
 	// Key/Value capacity across operations. Like ValueBuf, the items are
 	// only valid until Done returns.
 	ScanBuf []Item
+	// TS and TS2 are the timestamp arguments of OpTxn* operations (see the
+	// OpType constants for each operation's meaning).
+	TS  uint64
+	TS2 uint64
+	// Aux is the primary lock key of an OpTxnPrewrite.
+	Aux []byte
+	// Del marks an OpTxnPrewrite as a delete intent.
+	Del bool
 }
 
 // AppendItem appends a copy of (key, value) to items. When items is a

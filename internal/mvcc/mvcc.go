@@ -1,0 +1,314 @@
+// Package mvcc holds the building blocks of KVell's multi-version layer:
+// a deterministic timestamp oracle driven by virtual time, the on-disk
+// version envelope that wraps every slot value when versioning is enabled,
+// and the per-worker in-memory version/lock tables that cover the
+// uncheckpointed window (keys with more than one live version, or with a
+// pending transaction intent). Single-version keys have no table entry, so
+// the common-case read stays on the store's zero-allocation path.
+//
+// The package is pure data structures and codecs: all I/O, routing and
+// protocol live in internal/core (worker-side state machines) and
+// internal/txn (the percolator-style client). Nothing here reads the wall
+// clock or unseeded randomness — timestamps come from the simulator's
+// virtual clock and all tie-breaking is by monotone counters, which is what
+// keeps transactional schedules bit-deterministic.
+package mvcc
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"kvell/internal/env"
+)
+
+// NoLoc marks "no previous version" in an envelope's chain pointer. Location
+// 0 is a valid slot (class 0, slot 0), so the sentinel is all-ones.
+const NoLoc = ^uint64(0)
+
+// Oracle issues strictly increasing commit/start timestamps. Timestamps
+// embed the virtual time of issue in their high bits (so they are meaningful
+// across restarts and machines) with a low-bits counter disambiguating
+// same-instant fetches. An Oracle is owned by one event domain (the store on
+// a single node, machine 0 in a cluster); cross-machine users reach it
+// through the network layer, never by sharing the struct.
+type Oracle struct {
+	last uint64
+}
+
+// tsShift leaves 2^20 timestamps per virtual nanosecond before the clock
+// component saturates ordering; virtual times are int64 nanoseconds, so the
+// shifted value fits uint64 for any simulated run.
+const tsShift = 20
+
+// Next returns a fresh timestamp, strictly greater than every timestamp
+// returned or observed before.
+func (o *Oracle) Next(now env.Time) uint64 {
+	t := uint64(now) << tsShift
+	if t <= o.last {
+		t = o.last + 1
+	}
+	o.last = t
+	return t
+}
+
+// Observe raises the oracle floor to at least ts (recovery feeds it the
+// largest timestamp found on disk so post-crash commits sort after every
+// pre-crash one).
+func (o *Oracle) Observe(ts uint64) {
+	if ts > o.last {
+		o.last = ts
+	}
+}
+
+// Last returns the most recent timestamp issued or observed. Readers that
+// want "latest" semantics without consuming a timestamp snapshot at Last():
+// any commit still in flight will fetch a strictly larger timestamp, so it
+// is never required reading for such a snapshot.
+func (o *Oracle) Last() uint64 { return o.last }
+
+// Envelope kinds. An intent is a prewritten, uncommitted value locked by
+// transaction StartTS; committed records carry their CommitTS. Deletes are
+// materialized (a committed delete stays live on disk until garbage
+// collection so that snapshot readers older than it still find the previous
+// version through the chain).
+const (
+	KindIntentPut    = 0x11
+	KindIntentDelete = 0x12
+	KindCommitPut    = 0x21
+	KindCommitDelete = 0x22
+)
+
+// HeaderSize is the fixed envelope prefix: kind(1) + startTS(8) +
+// commitTS(8) + prevLoc(8) + primaryLen(2).
+const HeaderSize = 1 + 8 + 8 + 8 + 2
+
+// Envelope is the version wrapper stored as a slot's value when MVCC is
+// enabled. Decode returns views into the encoded buffer; callers that retain
+// Primary or Value must copy.
+type Envelope struct {
+	Kind     byte
+	StartTS  uint64 // issuing transaction's snapshot timestamp
+	CommitTS uint64 // 0 while an intent
+	PrevLoc  uint64 // previous version's slot location, NoLoc for none
+	Primary  []byte // primary lock key (intents; retained after commit)
+	Value    []byte // user value
+}
+
+// Committed reports whether the envelope is a committed record.
+func (e *Envelope) Committed() bool {
+	return e.Kind == KindCommitPut || e.Kind == KindCommitDelete
+}
+
+// Intent reports whether the envelope is a prewrite intent.
+func (e *Envelope) Intent() bool {
+	return e.Kind == KindIntentPut || e.Kind == KindIntentDelete
+}
+
+// Delete reports whether the envelope materializes a delete.
+func (e *Envelope) Delete() bool {
+	return e.Kind == KindIntentDelete || e.Kind == KindCommitDelete
+}
+
+// EncodedSize returns the encoded length of an envelope with the given
+// primary-key and value lengths.
+func EncodedSize(plen, vlen int) int { return HeaderSize + plen + vlen }
+
+// AppendEncode appends e's encoding to dst and returns the extended slice
+// (the usual append contract; pass a recycled buffer to avoid allocation).
+func AppendEncode(dst []byte, e *Envelope) []byte {
+	var hdr [HeaderSize]byte
+	hdr[0] = e.Kind
+	binary.LittleEndian.PutUint64(hdr[1:9], e.StartTS)
+	binary.LittleEndian.PutUint64(hdr[9:17], e.CommitTS)
+	binary.LittleEndian.PutUint64(hdr[17:25], e.PrevLoc)
+	binary.LittleEndian.PutUint16(hdr[25:27], uint16(len(e.Primary)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, e.Primary...)
+	dst = append(dst, e.Value...)
+	return dst
+}
+
+// Decode parses b as an envelope, returning views into b. ok is false when b
+// is too short or the kind byte is unknown (corrupt or non-MVCC data).
+func Decode(b []byte) (e Envelope, ok bool) {
+	if len(b) < HeaderSize {
+		return Envelope{}, false
+	}
+	switch b[0] {
+	case KindIntentPut, KindIntentDelete, KindCommitPut, KindCommitDelete:
+	default:
+		return Envelope{}, false
+	}
+	e.Kind = b[0]
+	e.StartTS = binary.LittleEndian.Uint64(b[1:9])
+	e.CommitTS = binary.LittleEndian.Uint64(b[9:17])
+	e.PrevLoc = binary.LittleEndian.Uint64(b[17:25])
+	plen := int(binary.LittleEndian.Uint16(b[25:27]))
+	if HeaderSize+plen > len(b) {
+		return Envelope{}, false
+	}
+	e.Primary = b[HeaderSize : HeaderSize+plen : HeaderSize+plen]
+	e.Value = b[HeaderSize+plen:]
+	return e, true
+}
+
+// Version is one committed version of a key: where it lives and when it
+// became visible. Versions in a KeyState are ordered newest-first.
+type Version struct {
+	CommitTS uint64
+	StartTS  uint64
+	Loc      uint64
+	Del      bool
+}
+
+// Lock is a pending prewrite intent on a key. MaxReadTS records the largest
+// snapshot timestamp that read past this lock while it was pending (on the
+// primary key only); the commit protocol must take a commit timestamp above
+// it, or those readers would have missed a commit inside their snapshot.
+type Lock struct {
+	StartTS   uint64
+	Primary   []byte // owned copy
+	IntentLoc uint64
+	Del       bool
+	MaxReadTS uint64
+	// CommitTS is nonzero once the commit point has been decided and the
+	// in-place flip write is in flight; visibility of the new version still
+	// waits for the flip's durability. While set, the lock admits no further
+	// MaxReadTS bumps and no rollback.
+	CommitTS uint64
+}
+
+// KeyState is the in-memory versioning state of one key: an optional
+// pending lock plus the committed versions still retained, newest first.
+// Keys without a KeyState have exactly one committed version — the one the
+// index points at — visible to every snapshot the store can still serve.
+type KeyState struct {
+	Lock     *Lock
+	Versions []Version
+}
+
+// VisibleAt returns the newest version with CommitTS <= ts.
+func (ks *KeyState) VisibleAt(ts uint64) (Version, bool) {
+	for _, v := range ks.Versions {
+		if v.CommitTS <= ts {
+			return v, true
+		}
+	}
+	return Version{}, false
+}
+
+// VersionAt returns the version committed by the transaction with the given
+// start timestamp, if retained.
+func (ks *KeyState) VersionAt(startTS uint64) (Version, bool) {
+	for _, v := range ks.Versions {
+		if v.StartTS == startTS {
+			return v, true
+		}
+	}
+	return Version{}, false
+}
+
+// Prepend inserts v as the newest version.
+func (ks *KeyState) Prepend(v Version) {
+	ks.Versions = append(ks.Versions, Version{})
+	copy(ks.Versions[1:], ks.Versions)
+	ks.Versions[0] = v
+}
+
+// Insert adds v keeping Versions ordered newest-first. Commit timestamps can
+// land slightly out of order on one key (an autocommit can slip between a
+// transaction's timestamp fetch and its flip), so publication sorts rather
+// than assuming the newcomer is newest.
+func (ks *KeyState) Insert(v Version) {
+	i := 0
+	for i < len(ks.Versions) && ks.Versions[i].CommitTS > v.CommitTS {
+		i++
+	}
+	ks.Versions = append(ks.Versions, Version{})
+	copy(ks.Versions[i+1:], ks.Versions[i:])
+	ks.Versions[i] = v
+}
+
+// Table is one worker's key -> KeyState map. Get compiles to an
+// allocation-free map probe, which is what keeps single-version reads (a
+// miss here) on the store's zero-allocation path.
+type Table struct {
+	m map[string]*KeyState
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table { return &Table{m: make(map[string]*KeyState)} }
+
+// Get returns the state for key, or nil.
+func (t *Table) Get(key []byte) *KeyState { return t.m[string(key)] }
+
+// Ensure returns the state for key, creating it if absent.
+func (t *Table) Ensure(key []byte) *KeyState {
+	if ks := t.m[string(key)]; ks != nil {
+		return ks
+	}
+	ks := &KeyState{}
+	t.m[string(key)] = ks
+	return ks
+}
+
+// Delete removes key's state.
+func (t *Table) Delete(key []byte) { delete(t.m, string(key)) }
+
+// Len returns the number of tracked keys.
+func (t *Table) Len() int { return len(t.m) }
+
+// Keys appends all tracked keys to dst and returns it sorted (map order must
+// never leak into the schedule).
+func (t *Table) Keys(dst []string) []string {
+	for k := range t.m {
+		dst = append(dst, k)
+	}
+	sort.Strings(dst)
+	return dst
+}
+
+// Backoff is a bounded, seeded exponential backoff for write-write conflict
+// retries. The jitter stream is a xorshift64 generator seeded by the caller,
+// so two runs with the same seed sleep identically.
+type Backoff struct {
+	state uint64
+	base  env.Time
+	cap   env.Time
+	n     int
+}
+
+// NewBackoff returns a backoff starting at base and capped at cap.
+func NewBackoff(seed int64, base, cap env.Time) *Backoff {
+	if base <= 0 {
+		base = 5 * env.Microsecond
+	}
+	if cap < base {
+		cap = 64 * base
+	}
+	return &Backoff{state: uint64(seed)*0x9E3779B97F4A7C15 + 1, base: base, cap: cap}
+}
+
+// Next returns the next sleep duration: base·2^attempt, capped, with
+// deterministic jitter in [½d, d).
+func (b *Backoff) Next() env.Time {
+	d := b.base << uint(b.n)
+	if d > b.cap || d <= 0 {
+		d = b.cap
+	}
+	b.n++
+	b.state ^= b.state << 13
+	b.state ^= b.state >> 7
+	b.state ^= b.state << 17
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + env.Time(b.state%uint64(half))
+}
+
+// Attempts returns how many times Next has been called since the last Reset.
+func (b *Backoff) Attempts() int { return b.n }
+
+// Reset restarts the exponential ramp (the jitter stream continues).
+func (b *Backoff) Reset() { b.n = 0 }

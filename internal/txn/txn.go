@@ -1,0 +1,311 @@
+// Package txn is the percolator-style transaction client over KVell's MVCC
+// layer. A transaction buffers its writes locally, reads at its start
+// timestamp (seeing its own buffered writes), and commits with a two-phase
+// primary-lock protocol: every write is prewritten as a locked intent
+// (primary key first), then the primary intent is flipped to committed at a
+// fresh commit timestamp — that durable flip is the transaction's atomic
+// commit point — and the secondaries roll forward afterwards. Locks left by
+// concurrent or dead transactions are resolved lazily through their primary,
+// never waited on.
+//
+// The package is deliberately mechanism-only: all policy knobs (retry
+// budgets, backoff spans) are plain fields, every retry sleep comes from a
+// seeded bounded backoff, and no code path reads the wall clock, so
+// transactional schedules in the simulator stay bit-deterministic.
+package txn
+
+import (
+	"errors"
+
+	"kvell/internal/env"
+	"kvell/internal/kv"
+	"kvell/internal/mvcc"
+)
+
+// Client is the transport a transaction speaks to the store through: the
+// store's own API on a single node, a network stub in a cluster. All methods
+// block the calling proc until the store responds.
+type Client interface {
+	// NextTS fetches a fresh timestamp from the oracle.
+	NextTS(c env.Ctx) uint64
+	// TxnGet performs a snapshot read of key at ts. skip, when nonzero, names
+	// a pending transaction (by start timestamp) whose lock the read may pass
+	// — the reader already registered its snapshot with that transaction's
+	// primary.
+	TxnGet(c env.Ctx, key []byte, ts, skip uint64) kv.Result
+	// Prewrite installs a locked intent for the transaction started at
+	// startTS. value is ignored when del is set.
+	Prewrite(c env.Ctx, key, value, primary []byte, startTS uint64, del bool) kv.Result
+	// Commit flips the intent at startTS on key to a committed version at
+	// commitTS.
+	Commit(c env.Ctx, key []byte, startTS, commitTS uint64) kv.Result
+	// Resolve queries the state of the transaction whose primary lock sits on
+	// primary, recording readTS as a passed-reader watermark while pending.
+	Resolve(c env.Ctx, primary []byte, startTS, readTS uint64) kv.Result
+	// Rollback removes the intent at startTS on key.
+	Rollback(c env.Ctx, key []byte, startTS uint64) kv.Result
+}
+
+// ErrConflict reports a write-write conflict: another transaction committed
+// to one of this transaction's keys after its snapshot, or holds a pending
+// lock on one. The transaction has been rolled back; the caller may retry
+// from a fresh snapshot (Manager.Run does so with bounded backoff).
+var ErrConflict = errors.New("txn: write-write conflict")
+
+// ErrAborted reports that the transaction's primary lock disappeared before
+// commit — another party rolled it back (crash settlement racing the client).
+var ErrAborted = errors.New("txn: aborted by lock cleanup")
+
+// ErrTooManyResolves reports that a read or prewrite could not settle a
+// blocking lock within the retry budget.
+var ErrTooManyResolves = errors.New("txn: lock resolution budget exhausted")
+
+// write is one buffered mutation.
+type write struct {
+	key   []byte
+	value []byte
+	del   bool
+}
+
+// Txn is a single transaction: a snapshot timestamp plus a client-side write
+// buffer. It is not safe for concurrent use; one proc owns it.
+type Txn struct {
+	cl      Client
+	startTS uint64
+	writes  []write        // commit order; writes[0] is the primary
+	byKey   map[string]int // key -> index in writes
+	bo      *mvcc.Backoff
+	done    bool
+}
+
+// Begin opens a transaction at a fresh snapshot. seed salts the retry
+// backoff's jitter stream (pass a workload-derived value; two runs with equal
+// seeds and schedules sleep identically).
+func Begin(c env.Ctx, cl Client, seed int64) *Txn {
+	ts := cl.NextTS(c)
+	return &Txn{
+		cl:      cl,
+		startTS: ts,
+		byKey:   make(map[string]int),
+		bo:      mvcc.NewBackoff(seed^int64(ts), 2*env.Microsecond, 256*env.Microsecond),
+	}
+}
+
+// StartTS returns the transaction's snapshot timestamp.
+func (t *Txn) StartTS() uint64 { return t.startTS }
+
+// Put buffers a write of value to key. The value is not copied; the caller
+// must not mutate it before Commit returns.
+func (t *Txn) Put(key, value []byte) { t.buffer(key, value, false) }
+
+// Delete buffers a delete of key.
+func (t *Txn) Delete(key []byte) { t.buffer(key, nil, true) }
+
+func (t *Txn) buffer(key, value []byte, del bool) {
+	if i, ok := t.byKey[string(key)]; ok {
+		t.writes[i].value = value
+		t.writes[i].del = del
+		return
+	}
+	t.byKey[string(key)] = len(t.writes)
+	t.writes = append(t.writes, write{key: append([]byte(nil), key...), value: value, del: del})
+}
+
+// Get reads key at the transaction's snapshot, seeing the transaction's own
+// buffered writes first.
+func (t *Txn) Get(c env.Ctx, key []byte) ([]byte, bool, error) {
+	if i, ok := t.byKey[string(key)]; ok {
+		w := &t.writes[i]
+		if w.del {
+			return nil, false, nil
+		}
+		return w.value, true, nil
+	}
+	return snapshotGet(c, t.cl, key, t.startTS, t.bo)
+}
+
+// GetAt is a standalone snapshot read at ts through cl, with lazy lock
+// resolution. seed salts the retry backoff.
+func GetAt(c env.Ctx, cl Client, key []byte, ts uint64, seed int64) ([]byte, bool, error) {
+	bo := mvcc.NewBackoff(seed^int64(kv.Hash64(key)^ts), 2*env.Microsecond, 256*env.Microsecond)
+	return snapshotGet(c, cl, key, ts, bo)
+}
+
+// resolveBudget bounds how many lock resolutions one read or prewrite will
+// attempt before giving up; it exists to convert protocol bugs into errors
+// rather than infinite loops.
+const resolveBudget = 64
+
+// snapshotGet is the read loop: on TxnLocked, resolve through the primary —
+// pending transactions record our snapshot and let us pass, committed ones
+// roll forward, dead ones roll back — and retry; on TxnRetry (a commit flip
+// in flight), back off and retry.
+func snapshotGet(c env.Ctx, cl Client, key []byte, ts uint64, bo *mvcc.Backoff) ([]byte, bool, error) {
+	var skip uint64
+	for attempt := 0; attempt < resolveBudget; attempt++ {
+		res := cl.TxnGet(c, key, ts, skip)
+		switch res.Txn {
+		case kv.TxnLocked:
+			primary := append([]byte(nil), res.Value...)
+			st := cl.Resolve(c, primary, res.TxnTS, ts)
+			switch st.Txn {
+			case kv.TxnPending:
+				skip = res.TxnTS // registered with the primary; read past
+			case kv.TxnCommitted:
+				cl.Commit(c, key, res.TxnTS, st.TxnTS) // roll the secondary forward
+				skip = 0
+			case kv.TxnAborted:
+				cl.Rollback(c, key, res.TxnTS) // lazy cleanup of a dead intent
+				skip = 0
+			default: // mid-flip
+				c.Sleep(bo.Next())
+				skip = 0
+			}
+		case kv.TxnRetry:
+			c.Sleep(bo.Next())
+		default:
+			return res.Value, res.Found, nil
+		}
+	}
+	return nil, false, ErrTooManyResolves
+}
+
+// Commit runs the two-phase protocol and returns the commit timestamp. On
+// ErrConflict every intent this transaction managed to install has been
+// rolled back. A transaction with no writes commits trivially at its own
+// snapshot. After Commit (success or failure) the transaction is spent.
+func (t *Txn) Commit(c env.Ctx) (uint64, error) {
+	if t.done {
+		panic("txn: Commit on a spent transaction")
+	}
+	t.done = true
+	if len(t.writes) == 0 {
+		return t.startTS, nil
+	}
+	primary := t.writes[0].key
+	for i := range t.writes {
+		if err := t.prewriteOne(c, &t.writes[i], primary); err != nil {
+			t.rollbackPrewritten(c, i)
+			return 0, err
+		}
+	}
+	// Commit point: flip the primary at a fresh timestamp. TxnRetry means the
+	// timestamp landed at or below a passed reader's snapshot — fetch a newer
+	// one (the oracle's monotonicity guarantees eventual progress).
+	var cts uint64
+	for {
+		try := t.cl.NextTS(c)
+		res := t.cl.Commit(c, primary, t.startTS, try)
+		if res.Txn == kv.TxnRetry {
+			if res.TxnTS >= try {
+				continue // watermark raced above us; refetch
+			}
+			c.Sleep(t.bo.Next()) // our own flip in flight (duplicate commit)
+			continue
+		}
+		if res.Txn != kv.TxnOK {
+			// The primary lock vanished without a version at our start
+			// timestamp: crash settlement rolled us back.
+			t.rollbackPrewritten(c, len(t.writes))
+			return 0, ErrAborted
+		}
+		cts = res.TxnTS
+		break
+	}
+	// The transaction is durably committed. Roll the secondaries forward;
+	// stragglers are also settled lazily by any future reader.
+	for i := 1; i < len(t.writes); i++ {
+		t.cl.Commit(c, t.writes[i].key, t.startTS, cts)
+	}
+	return cts, nil
+}
+
+// prewriteOne installs one intent, lazily resolving any blocking lock.
+func (t *Txn) prewriteOne(c env.Ctx, w *write, primary []byte) error {
+	for attempt := 0; attempt < resolveBudget; attempt++ {
+		res := t.cl.Prewrite(c, w.key, w.value, primary, t.startTS, w.del)
+		switch res.Txn {
+		case kv.TxnOK:
+			return nil
+		case kv.TxnWriteConflict:
+			return ErrConflict
+		case kv.TxnLocked:
+			blocker := append([]byte(nil), res.Value...)
+			st := t.cl.Resolve(c, blocker, res.TxnTS, 0)
+			switch st.Txn {
+			case kv.TxnCommitted:
+				t.cl.Commit(c, w.key, res.TxnTS, st.TxnTS)
+			case kv.TxnAborted:
+				t.cl.Rollback(c, w.key, res.TxnTS)
+			case kv.TxnPending:
+				// A live transaction holds the key: first-to-lock wins, we
+				// die (never wait — waiting is what deadlocks).
+				return ErrConflict
+			default: // mid-flip; its version is about to land
+				c.Sleep(t.bo.Next())
+			}
+		default:
+			c.Sleep(t.bo.Next())
+		}
+	}
+	return ErrTooManyResolves
+}
+
+// rollbackPrewritten removes the first n intents (primary first, so the
+// transaction is dead the moment the primary's rollback lands).
+func (t *Txn) rollbackPrewritten(c env.Ctx, n int) {
+	for i := 0; i < n && i < len(t.writes); i++ {
+		t.cl.Rollback(c, t.writes[i].key, t.startTS)
+	}
+}
+
+// Rollback abandons an uncommitted transaction. Nothing has touched the
+// store yet (writes are buffered until Commit), so it only marks the
+// transaction spent.
+func (t *Txn) Rollback() { t.done = true }
+
+// Manager runs transaction bodies with automatic conflict retries.
+type Manager struct {
+	Cl Client
+	// MaxAttempts bounds the retry loop; 0 means DefaultMaxAttempts.
+	MaxAttempts int
+	// Conflicts counts write-write conflict retries across all Run calls.
+	Conflicts int64
+	// Aborts counts transactions that exhausted their retry budget.
+	Aborts int64
+}
+
+// DefaultMaxAttempts is the retry budget when Manager.MaxAttempts is zero.
+const DefaultMaxAttempts = 16
+
+// Run executes fn inside a transaction, retrying with seeded backoff on
+// write-write conflicts, and returns the commit timestamp. A non-conflict
+// error from fn aborts the transaction and is returned as-is. seed salts the
+// backoff jitter; pass a per-transaction workload value for determinism.
+func (m *Manager) Run(c env.Ctx, seed int64, fn func(c env.Ctx, t *Txn) error) (uint64, error) {
+	max := m.MaxAttempts
+	if max <= 0 {
+		max = DefaultMaxAttempts
+	}
+	bo := mvcc.NewBackoff(seed, 4*env.Microsecond, 512*env.Microsecond)
+	var lastErr error
+	for attempt := 0; attempt < max; attempt++ {
+		t := Begin(c, m.Cl, seed)
+		if err := fn(c, t); err != nil {
+			t.Rollback()
+			return 0, err
+		}
+		cts, err := t.Commit(c)
+		if err == nil {
+			return cts, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrConflict) {
+			return 0, err
+		}
+		m.Conflicts++
+		c.Sleep(bo.Next())
+	}
+	m.Aborts++
+	return 0, lastErr
+}
